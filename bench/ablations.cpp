@@ -1,0 +1,75 @@
+// Ablation benches for the design choices called out in DESIGN.md §5:
+//  1. k-medoids sensor placement vs uniform-random placement
+//  2. Δ-features with vs without the time-of-day context feature
+//  3. HybridRSL stacking vs its base learners (complements Fig. 7)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+
+int main() {
+  bench::banner("Ablations", "placement, feature, and stacking ablations (EPA-NET)");
+
+  const auto net = networks::make_epa_net();
+  ExperimentConfig config;
+  config.train_samples = bench::scaled(1000);
+  config.test_samples = bench::scaled(150);
+  config.scenarios.min_events = 1;
+  config.scenarios.max_events = 3;
+  config.elapsed_slots = {1};
+  config.seed = 4242;
+  ExperimentContext context(net, config);
+
+  {
+    Table table({"IoT %", "k-medoids placement", "random placement"});
+    for (const double percent : {10.0, 25.0, 50.0}) {
+      EvalOptions options;
+      options.kind = ModelKind::kRandomForest;
+      options.iot_percent = percent;
+      options.kmedoids_placement = true;
+      const auto kmedoids = context.evaluate(options);
+      options.kmedoids_placement = false;
+      const auto random = context.evaluate(options);
+      table.add_row({Table::num(percent, 0), Table::num(kmedoids.hamming),
+                     Table::num(random.hamming)});
+    }
+    std::printf("\nAblation 1 — sensor placement (RF profile)\n");
+    table.print();
+  }
+
+  {
+    Table table({"model", "with day-fraction feature", "delta-only features"});
+    for (const ModelKind kind : {ModelKind::kRandomForest, ModelKind::kHybridRsl}) {
+      EvalOptions options;
+      options.kind = kind;
+      options.iot_percent = 50.0;
+      options.include_time_feature = true;
+      const auto with_time = context.evaluate(options);
+      options.include_time_feature = false;
+      const auto without_time = context.evaluate(options);
+      table.add_row({model_kind_name(kind), Table::num(with_time.hamming),
+                     Table::num(without_time.hamming)});
+    }
+    std::printf("\nAblation 2 — time-of-day context feature (50%% IoT)\n");
+    table.print();
+  }
+
+  {
+    Table table({"model", "hamming @35% IoT"});
+    for (const ModelKind kind :
+         {ModelKind::kRandomForest, ModelKind::kSvm, ModelKind::kLogisticR,
+          ModelKind::kHybridRsl}) {
+      EvalOptions options;
+      options.kind = kind;
+      options.iot_percent = 35.0;
+      table.add_row({model_kind_name(kind), Table::num(context.evaluate(options).hamming)});
+    }
+    std::printf("\nAblation 3 — stacking vs base learners (35%% IoT, 1-3 leaks)\n");
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the figure-reproduction benches: an environment-
+// driven scale factor (AQUA_SCALE, default 1.0) so the suite can be run at
+// paper scale on bigger machines, plus consistent banner printing.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace aqua::bench {
+
+/// Multiplier applied to scenario counts; from the AQUA_SCALE env var.
+inline double scale_factor() {
+  const char* env = std::getenv("AQUA_SCALE");
+  if (env == nullptr) return 1.0;
+  const double value = std::atof(env);
+  return value > 0.0 ? value : 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  return std::max<std::size_t>(16, static_cast<std::size_t>(base * scale_factor()));
+}
+
+inline void banner(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("(scenario counts scaled by AQUA_SCALE=%.2f; paper used 20,000/2,000)\n",
+              scale_factor());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace aqua::bench

@@ -1,0 +1,84 @@
+// Headline claim — "detection time reduced by orders of magnitude (from
+// hours/days to minutes)": compares online localization cost of
+//  (a) the two-phase approach: offline profile training (Phase I, done
+//      once) + per-event Phase II inference, against
+//  (b) the enumeration-search baseline (calibrated-simulator best-match,
+//      the related-work approach the paper positions against), which must
+//      run hundreds of hydraulic solves per event.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+
+namespace {
+
+void run_network(const hydraulics::Network& net, std::size_t probes) {
+  ExperimentConfig config;
+  config.train_samples = bench::scaled(600);
+  config.test_samples = std::max<std::size_t>(probes, 16);
+  config.scenarios.min_events = 1;
+  config.scenarios.max_events = 3;
+  config.elapsed_slots = {1};
+  config.seed = 1234;
+  ExperimentContext context(net, config);
+
+  EvalOptions options;
+  options.kind = ModelKind::kHybridRsl;
+  options.iot_percent = 100.0;
+  options.include_time_feature = false;  // enumeration consumes raw deltas
+  const auto profile = context.train(options);
+  const auto phase2 = context.evaluate_profile(profile, options);
+
+  EnumerationConfig enum_config;
+  enum_config.candidate_ecs = {0.003, 0.007};
+  enum_config.max_leaks = 3;
+  const EnumerationLocalizer baseline(net, profile.sensors, enum_config);
+
+  RunningStats enum_seconds, enum_scores, enum_solves;
+  Rng rng(77);
+  for (std::size_t i = 0; i < probes; ++i) {
+    const auto& scenario = context.test_scenarios()[i];
+    Rng sample_rng = rng.split();
+    const auto features = context.test_batch().features(i, profile.sensors, 0, profile.noise,
+                                                        sample_rng, false);
+    const std::size_t before_period = (scenario.leak_slot - 1) * 900 / 3600;
+    const std::size_t after_period = (scenario.leak_slot + 1) * 900 / 3600;
+    const auto outcome = baseline.localize(features, before_period, after_period);
+    enum_seconds.add(outcome.seconds);
+    enum_solves.add(static_cast<double>(outcome.hydraulic_solves));
+    enum_scores.add(ml::hamming_score(outcome.predicted, scenario.truth));
+  }
+
+  Table table({"method", "per-event time [s]", "hamming", "notes"});
+  table.add_row({"Phase II (profile)", Table::num(phase2.mean_infer_seconds, 5),
+                 Table::num(phase2.hamming),
+                 "offline Phase I took " + Table::num(profile.train_seconds, 1) + " s once"});
+  table.add_row({"enumeration baseline", Table::num(enum_seconds.mean(), 3),
+                 Table::num(enum_scores.mean()),
+                 Table::num(enum_solves.mean(), 0) + " hydraulic solves/event"});
+  std::printf("\n%s (%zu nodes, %zu links), %zu probe events:\n", net.name().c_str(),
+              net.num_nodes(), net.num_links(), probes);
+  table.print();
+  const double speedup = phase2.mean_infer_seconds > 0.0
+                             ? enum_seconds.mean() / phase2.mean_infer_seconds
+                             : 0.0;
+  std::printf("online speedup: %.0fx\n", speedup);
+  std::printf(
+      "(the paper's hours/days figure corresponds to field practice and to\n"
+      " enumeration over 20k-candidate spaces with a full-fidelity simulator;\n"
+      " the shape — orders of magnitude — is what transfers.)\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Detection time", "two-phase inference vs enumeration-search baseline");
+  run_network(networks::make_epa_net(), 10);
+  run_network(networks::make_wssc_subnet(), 5);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 10 — WSSC-SUBNET: average Hamming score as the maximum number of
+// concurrent leak events grows from 2 to 8, for IoT-only, IoT+human, and
+// IoT+human+temperature. Detection with IoT data alone is sensitive to
+// the event count; fused sources degrade much more slowly.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+
+int main() {
+  bench::banner("Fig. 10", "WSSC-SUBNET: score vs maximum number of concurrent leak events");
+
+  const auto net = networks::make_wssc_subnet();
+  Table table({"max events", "IoT only", "IoT + human", "IoT + human + temp"});
+
+  for (const std::size_t max_events : {2u, 4u, 6u, 8u}) {
+    ExperimentConfig config;
+    config.train_samples = bench::scaled(1000);
+    config.test_samples = bench::scaled(100);
+    config.scenarios.min_events = 1;
+    config.scenarios.max_events = max_events;
+    config.scenarios.cold_weather = true;
+    config.elapsed_slots = {1};
+    config.seed = 10000 + max_events;
+    ExperimentContext context(net, config);
+
+    EvalOptions options;
+    options.kind = ModelKind::kHybridRsl;
+    options.iot_percent = 50.0;
+    options.tweets.clique_radius_m = 30.0;
+    const auto profile = context.train(options);
+    const auto base = context.evaluate_profile(profile, options);
+    options.use_human = true;
+    const auto with_human = context.evaluate_profile(profile, options);
+    options.use_weather = true;
+    const auto with_both = context.evaluate_profile(profile, options);
+
+    table.add_row({std::to_string(max_events), Table::num(base.hamming),
+                   Table::num(with_human.hamming), Table::num(with_both.hamming)});
+    std::printf("  finished max events = %zu\n", max_events);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\npaper shape: IoT-only detection is sensitive to the number of simultaneous\n"
+      "leaks while aggregated sources stay much higher and flatter. (At this\n"
+      "corpus scale the IoT-only column sits near its floor, so the paper's\n"
+      "visible decline compresses; the fused-vs-IoT gap is the robust signal.)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 11 — flood prediction on WSSC-SUBNET: two leak events at v1 and v2
+// with different sizes but the same start time; leak outflows computed via
+// Eq. 1 feed the BreZo-style flood model over the DEM interpolated from
+// node elevations. Prints DEM stats, per-source inflow, flood-extent
+// metrics and a coarse ASCII depth map (H = flood depth in meters).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aquascale.hpp"
+#include "flood/dem.hpp"
+#include "flood/flood_sim.hpp"
+
+using namespace aqua;
+
+int main() {
+  bench::banner("Fig. 11", "flood prediction from two concurrent leaks (WSSC-SUBNET)");
+
+  const auto net = networks::make_wssc_subnet();
+  const auto junctions = net.junction_ids();
+  const hydraulics::NodeId v1 = junctions[110];
+  const hydraulics::NodeId v2 = junctions[185];
+
+  // Leak outflow rates from the hydraulic simulation (Eq. 1 at pressure).
+  auto leaky = net;
+  leaky.set_emitter(v1, 0.008, 0.5);  // larger leak
+  leaky.set_emitter(v2, 0.003, 0.5);  // smaller leak
+  hydraulics::GgaSolver solver(leaky);
+  const auto state = solver.solve_snapshot();
+
+  std::printf("leak at %s: pressure %.1f m -> outflow %.4f m^3/s\n",
+              net.node(v1).name.c_str(), state.pressure[v1], state.emitter_outflow[v1]);
+  std::printf("leak at %s: pressure %.1f m -> outflow %.4f m^3/s\n\n",
+              net.node(v2).name.c_str(), state.pressure[v2], state.emitter_outflow[v2]);
+
+  const flood::Dem dem(net, 140, 140, 100.0);
+  std::printf("DEM: %zux%zu cells of %.0fx%.0f m, elevation %.1f..%.1f m\n\n", dem.rows(),
+              dem.cols(), dem.cell_size_x(), dem.cell_size_y(), dem.min_elevation(),
+              dem.max_elevation());
+
+  flood::FloodOptions options;
+  options.duration_s = 2.0 * 3600.0;  // two hours of uncontained leakage
+  const std::vector<flood::FloodSource> sources{
+      {net.node(v1).x, net.node(v1).y, state.emitter_outflow[v1]},
+      {net.node(v2).x, net.node(v2).y, state.emitter_outflow[v2]},
+  };
+  const auto result = flood::simulate_flood(dem, sources, options);
+
+  const double cell_area = dem.cell_size_x() * dem.cell_size_y();
+  Table table({"metric", "value"});
+  table.add_row({"injected volume [m^3]",
+                 Table::num((state.emitter_outflow[v1] + state.emitter_outflow[v2]) *
+                                options.duration_s, 1)});
+  table.add_row({"ponded volume [m^3]", Table::num(result.total_volume(cell_area), 1)});
+  table.add_row({"max depth H [m]", Table::num(result.max_depth(), 3)});
+  table.add_row({"wet cells (H > 1 cm)", std::to_string(result.wet_cells(0.01))});
+  table.add_row({"wet area [m^2]",
+                 Table::num(static_cast<double>(result.wet_cells(0.01)) * cell_area, 0)});
+  table.print();
+
+  // Coarse ASCII rendering of the depth map (every 2nd cell).
+  std::printf("\nflood depth map ('.' dry, 1-9 ~ deciles of max depth):\n");
+  const double max_depth = result.max_depth();
+  for (std::size_t r = 0; r < dem.rows(); r += 4) {
+    for (std::size_t c = 0; c < dem.cols(); c += 4) {
+      const double h = result.depth(r, c);
+      if (h < 0.01 || max_depth <= 0.0) {
+        std::putchar('.');
+      } else {
+        const int decile = std::min(9, 1 + static_cast<int>(8.99 * h / max_depth));
+        std::putchar('0' + decile);
+      }
+    }
+    std::putchar('\n');
+  }
+  std::printf("\npaper shape: flood spreads from the leak points along the terrain and\n"
+              "ponds in local depressions; the larger leak floods the larger area.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 6 — "Comparison of ML techniques for single leak identifications
+// using (a) full and (b) 10% IoT observations" on EPA-NET. All six
+// plug-and-play techniques (LinearR, LogisticR, GB, RF, SVM, HybridRSL)
+// are trained on the same single-failure corpus and scored by the Hamming
+// (Jaccard) metric.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+
+int main() {
+  bench::banner("Fig. 6", "ML technique comparison, single failure, EPA-NET, 100% vs 10% IoT");
+
+  const auto net = networks::make_epa_net();
+  ExperimentConfig config;
+  config.train_samples = bench::scaled(1500);
+  config.test_samples = bench::scaled(200);
+  config.scenarios.min_events = 1;
+  config.scenarios.max_events = 1;  // Single Pipe Failure regime
+  config.elapsed_slots = {1};
+  config.seed = 6001;
+  ExperimentContext context(net, config);
+
+  Table table({"technique", "hamming @100% IoT", "hamming @10% IoT", "train time [s]"});
+  for (const ModelKind kind : all_model_kinds()) {
+    EvalOptions options;
+    options.kind = kind;
+    options.iot_percent = 100.0;
+    const auto full = context.evaluate(options);
+    options.iot_percent = 10.0;
+    const auto sparse = context.evaluate(options);
+    table.add_row({model_kind_name(kind), Table::num(full.hamming), Table::num(sparse.hamming),
+                   Table::num(full.train_seconds + sparse.train_seconds, 1)});
+    std::printf("  finished %s\n", model_kind_name(kind).c_str());
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\npaper shape: all techniques score similarly high at 100%% IoT; RF and SVM\n"
+      "degrade most gracefully at 10%% IoT (absolute low-IoT scores are below the\n"
+      "paper's because training corpora here are %zu samples, not 20,000).\n",
+      config.train_samples);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 8 — WSSC-SUBNET, "Multiple Failures due to Low Temperature":
+//  (a) Hamming score surface over (IoT %, elapsed time slots), IoT only
+//  (b) the same surface with weather + human input fused in
+//  (c) the increment between the two
+// The paper's qualitative result: fusion makes localization robust even
+// with very limited IoT coverage, and the increment is largest where IoT
+// data is scarce.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+
+int main() {
+  bench::banner("Fig. 8", "WSSC-SUBNET fusion surface: score vs (IoT %, elapsed slots)");
+
+  const auto net = networks::make_wssc_subnet();
+  ExperimentConfig config;
+  config.train_samples = bench::scaled(900);
+  config.test_samples = bench::scaled(120);
+  config.scenarios.min_events = 1;
+  config.scenarios.max_events = 5;
+  config.scenarios.cold_weather = true;
+  config.elapsed_slots = {1, 4, 8};
+  config.seed = 8001;
+  ExperimentContext context(net, config);
+
+  const std::vector<double> iot_levels{10.0, 40.0, 100.0};
+
+  Table panel_a({"IoT %", "n=1 slot", "n=4 slots", "n=8 slots"});
+  Table panel_b = panel_a;
+  Table panel_c = panel_a;
+
+  for (const double percent : iot_levels) {
+    std::vector<std::string> row_a{Table::num(percent, 0)};
+    std::vector<std::string> row_b{Table::num(percent, 0)};
+    std::vector<std::string> row_c{Table::num(percent, 0)};
+    for (std::size_t e = 0; e < config.elapsed_slots.size(); ++e) {
+      EvalOptions options;
+      options.kind = ModelKind::kHybridRsl;
+      options.iot_percent = percent;
+      options.elapsed_index = e;
+      options.tweets.clique_radius_m = 30.0;
+      const auto profile = context.train(options);
+      const auto base = context.evaluate_profile(profile, options);
+      options.use_weather = true;
+      options.use_human = true;
+      const auto fused = context.evaluate_profile(profile, options);
+      row_a.push_back(Table::num(base.hamming));
+      row_b.push_back(Table::num(fused.hamming));
+      row_c.push_back(Table::num(fused.hamming - base.hamming));
+      std::printf("  finished IoT %.0f%%, n=%zu\n", percent, config.elapsed_slots[e]);
+    }
+    panel_a.add_row(std::move(row_a));
+    panel_b.add_row(std::move(row_b));
+    panel_c.add_row(std::move(row_c));
+  }
+
+  std::printf("\nFig. 8a — IoT data only\n");
+  panel_a.print();
+  std::printf("\nFig. 8b — IoT + weather + human input\n");
+  panel_b.print();
+  std::printf("\nFig. 8c — increment from weather + human\n");
+  panel_c.print();
+  std::printf(
+      "\npaper shape: fused scores stay high even at low IoT %%; the increment\n"
+      "is largest with the least IoT data; extra elapsed slots add tweets but\n"
+      "only marginal further improvement (low false-positive rate).\n");
+  return 0;
+}

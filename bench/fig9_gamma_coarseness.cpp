@@ -1,0 +1,57 @@
+// Fig. 9 — WSSC-SUBNET, multiple failures due to low temperature: average
+// Hamming score as the Twitter data gets coarser (growing clique radius
+// gamma), for IoT-only, IoT+human, and IoT+human+temperature. Coarser
+// human data dilutes the cliques and erodes the human-input gain; adding
+// temperature compensates.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+
+int main() {
+  bench::banner("Fig. 9", "WSSC-SUBNET: effect of tweet coarseness gamma on fusion gain");
+
+  const auto net = networks::make_wssc_subnet();
+  ExperimentConfig config;
+  config.train_samples = bench::scaled(900);
+  config.test_samples = bench::scaled(120);
+  config.scenarios.min_events = 1;
+  config.scenarios.max_events = 5;
+  config.scenarios.cold_weather = true;
+  config.elapsed_slots = {1};
+  config.seed = 9001;
+  ExperimentContext context(net, config);
+
+  // One profile reused across all gamma values: gamma only affects the
+  // online clique construction, not Phase I.
+  EvalOptions train_options;
+  train_options.kind = ModelKind::kHybridRsl;
+  train_options.iot_percent = 30.0;
+  const auto profile = context.train(train_options);
+  const auto base = context.evaluate_profile(profile, train_options);
+
+  Table table({"gamma [m]", "IoT only", "IoT + human", "IoT + human + temp"});
+  for (const double gamma : {15.0, 30.0, 60.0, 120.0, 240.0}) {
+    EvalOptions options = train_options;
+    options.tweets.clique_radius_m = gamma;
+    options.use_human = true;
+    const auto with_human = context.evaluate_profile(profile, options);
+    options.use_weather = true;
+    const auto with_both = context.evaluate_profile(profile, options);
+    table.add_row({Table::num(gamma, 0), Table::num(base.hamming),
+                   Table::num(with_human.hamming), Table::num(with_both.hamming)});
+    std::printf("  finished gamma = %.0f m\n", gamma);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\npaper shape: the human-input gain decays as gamma grows (cliques cover\n"
+      "more candidate nodes, so the forced detection is more often wrong);\n"
+      "temperature information partially compensates for coarse human data.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the computational substrates:
+// GGA steady solves, extended-period steps, leak-scenario simulation,
+// k-medoids placement, tree/forest training and profile inference. These
+// are the costs that determine how far the evaluation scales.
+#include <benchmark/benchmark.h>
+
+#include "core/aquascale.hpp"
+#include "ml/binning.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace aqua;
+
+namespace {
+
+void BM_GgaSolveEpaNet(benchmark::State& state) {
+  const auto net = networks::make_epa_net();
+  const hydraulics::GgaSolver solver(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_snapshot());
+  }
+}
+BENCHMARK(BM_GgaSolveEpaNet);
+
+void BM_GgaSolveWssc(benchmark::State& state) {
+  const auto net = networks::make_wssc_subnet();
+  const hydraulics::GgaSolver solver(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_snapshot());
+  }
+}
+BENCHMARK(BM_GgaSolveWssc);
+
+void BM_GgaSolveWithLeaks(benchmark::State& state) {
+  auto net = networks::make_wssc_subnet();
+  const auto junctions = net.junction_ids();
+  net.set_emitter(junctions[40], 0.004);
+  net.set_emitter(junctions[200], 0.006);
+  const hydraulics::GgaSolver solver(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_snapshot());
+  }
+}
+BENCHMARK(BM_GgaSolveWithLeaks);
+
+void BM_Eps24hEpaNet(benchmark::State& state) {
+  const auto net = networks::make_epa_net();
+  for (auto _ : state) {
+    hydraulics::SimulationOptions options;
+    options.duration_s = 24.0 * 3600.0;
+    hydraulics::Simulation sim(net, options);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_Eps24hEpaNet);
+
+void BM_ScenarioSimulation(benchmark::State& state) {
+  const auto net = networks::make_wssc_subnet();
+  core::ScenarioConfig config;
+  config.max_events = 5;
+  core::ScenarioGenerator generator(net, config);
+  const auto scenario = generator.next();
+  for (auto _ : state) {
+    hydraulics::SimulationOptions options;
+    options.duration_s = static_cast<double>(scenario.leak_slot + 2) * 900.0;
+    hydraulics::Simulation sim(net, options);
+    sim.schedule_leaks(scenario.events);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_ScenarioSimulation);
+
+void BM_KMedoidsPlacement(benchmark::State& state) {
+  const auto net = networks::make_epa_net();
+  hydraulics::Simulation baseline(net, {});
+  const auto results = baseline.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sensing::place_sensors_kmedoids(net, results, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KMedoidsPlacement)->Arg(10)->Arg(50);
+
+void BM_BinnedTreeFit(benchmark::State& state) {
+  const std::size_t n = 2000, d = 100;
+  Rng rng(1);
+  ml::Matrix x(n, d);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) x(i, c) = rng.normal();
+    y[i] = x(i, 3) > 0.5 ? 1.0 : 0.0;
+  }
+  ml::FeatureBinning binning;
+  binning.fit(x);
+  for (auto _ : state) {
+    ml::RegressionTree tree;
+    tree.fit_binned(binning, y);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_BinnedTreeFit);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const std::size_t n = 1000, d = 60;
+  Rng rng(2);
+  ml::Matrix x(n, d);
+  ml::Labels y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) x(i, c) = rng.normal();
+    y[i] = x(i, 1) > 1.5 ? 1 : 0;
+  }
+  for (auto _ : state) {
+    ml::RandomForestClassifier forest;
+    forest.fit(x, y);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_RandomForestFit);
+
+void BM_BayesAggregation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::bayes_aggregate({0.4, 0.6, 0.7}));
+  }
+}
+BENCHMARK(BM_BayesAggregation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

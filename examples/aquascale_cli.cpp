@@ -1,0 +1,155 @@
+// aquascale_cli — command-line front end for the simulation substrate.
+//
+//   aquascale_cli export <epa|wssc> <out.inp>   write a built-in network
+//   aquascale_cli solve <net.inp>               steady-state snapshot report
+//   aquascale_cli simulate <net.inp> [hours]    extended-period summary
+//   aquascale_cli leak <net.inp> <node> <EC> [hours]
+//                                               leak what-if: drawdown + loss
+//
+// Networks use the INP dialect documented in hydraulics/inp_io.hpp
+// (export a built-in one to see the format).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  aquascale_cli export <epa|wssc> <out.inp>\n"
+               "  aquascale_cli solve <net.inp>\n"
+               "  aquascale_cli simulate <net.inp> [hours]\n"
+               "  aquascale_cli leak <net.inp> <node> <EC> [hours]\n");
+  return 2;
+}
+
+hydraulics::Network load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidArgument("cannot open " + path);
+  return hydraulics::read_inp(in);
+}
+
+int cmd_export(const std::string& which, const std::string& out_path) {
+  const auto net = which == "epa"    ? networks::make_epa_net()
+                   : which == "wssc" ? networks::make_wssc_subnet()
+                                     : throw InvalidArgument("unknown network: " + which);
+  std::ofstream out(out_path);
+  if (!out) throw InvalidArgument("cannot write " + out_path);
+  hydraulics::write_inp(net, out);
+  std::printf("wrote %s (%zu nodes, %zu links) to %s\n", net.name().c_str(), net.num_nodes(),
+              net.num_links(), out_path.c_str());
+  return 0;
+}
+
+int cmd_solve(const std::string& path) {
+  const auto net = load(path);
+  hydraulics::GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  std::printf("%s: %s in %zu iterations\n", net.name().c_str(),
+              state.converged ? "converged" : "DID NOT CONVERGE", state.iterations);
+  double min_p = 1e18, max_p = -1e18, sum_p = 0.0;
+  std::size_t junctions = 0;
+  for (const auto v : net.junction_ids()) {
+    min_p = std::min(min_p, state.pressure[v]);
+    max_p = std::max(max_p, state.pressure[v]);
+    sum_p += state.pressure[v];
+    ++junctions;
+  }
+  std::printf("junction pressure [m]: min %.2f / avg %.2f / max %.2f\n", min_p,
+              sum_p / static_cast<double>(junctions), max_p);
+  double source_output = 0.0;
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    const auto& link = net.link(l);
+    if (net.node(link.from).has_fixed_head()) source_output += state.flow[l];
+    if (net.node(link.to).has_fixed_head()) source_output -= state.flow[l];
+  }
+  std::printf("net source output: %.1f L/s; leaks discharging %.1f L/s\n",
+              source_output * 1000.0, state.total_emitter_outflow() * 1000.0);
+  return state.converged ? 0 : 1;
+}
+
+int cmd_simulate(const std::string& path, double hours) {
+  const auto net = load(path);
+  hydraulics::SimulationOptions options;
+  options.duration_s = hours * 3600.0;
+  hydraulics::Simulation sim(net, options);
+  const auto results = sim.run();
+  std::printf("%s: %zu steps over %.1f h\n", net.name().c_str(), results.num_steps(), hours);
+  // Min service pressure across the run (the number operators watch).
+  double worst = 1e18;
+  std::size_t worst_step = 0;
+  hydraulics::NodeId worst_node = 0;
+  for (std::size_t s = 0; s < results.num_steps(); ++s) {
+    for (const auto v : net.junction_ids()) {
+      if (results.pressure(s, v) < worst) {
+        worst = results.pressure(s, v);
+        worst_step = s;
+        worst_node = v;
+      }
+    }
+  }
+  std::printf("worst service pressure: %.2f m at %s, t = %.2f h\n", worst,
+              net.node(worst_node).name.c_str(), results.time(worst_step) / 3600.0);
+  std::printf("water lost to leaks: %.1f m^3\n", results.leaked_volume());
+  return 0;
+}
+
+int cmd_leak(const std::string& path, const std::string& node_name, double ec, double hours) {
+  auto net = load(path);
+  const auto node = net.node_id(node_name);
+  hydraulics::SimulationOptions options;
+  options.duration_s = hours * 3600.0;
+
+  hydraulics::Simulation healthy(net, options);
+  const auto base = healthy.run();
+
+  hydraulics::Simulation broken(net, options);
+  broken.schedule_leak({node, ec, 0.5, 0.0});
+  const auto leaky = broken.run();
+
+  std::printf("leak what-if at %s (EC = %.4f) over %.1f h:\n", node_name.c_str(), ec, hours);
+  std::printf("  water lost: %.1f m^3\n", leaky.leaked_volume());
+  const std::size_t last = leaky.num_steps() - 1;
+  std::printf("  pressure at %s: %.2f -> %.2f m\n", node_name.c_str(),
+              base.pressure(last, node), leaky.pressure(last, node));
+  // The node whose pressure dropped most (where complaints would come from).
+  double best_drop = 0.0;
+  hydraulics::NodeId best_node = node;
+  for (const auto v : net.junction_ids()) {
+    const double drop = base.pressure(last, v) - leaky.pressure(last, v);
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_node = v;
+    }
+  }
+  std::printf("  largest drawdown: %s (-%.2f m)\n", net.node(best_node).name.c_str(), best_drop);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return usage();
+    const std::string command = argv[1];
+    if (command == "export" && argc == 4) return cmd_export(argv[2], argv[3]);
+    if (command == "solve" && argc == 3) return cmd_solve(argv[2]);
+    if (command == "simulate" && (argc == 3 || argc == 4)) {
+      return cmd_simulate(argv[2], argc == 4 ? std::atof(argv[3]) : 24.0);
+    }
+    if (command == "leak" && (argc == 5 || argc == 6)) {
+      return cmd_leak(argv[2], argv[3], std::atof(argv[4]), argc == 6 ? std::atof(argv[5]) : 6.0);
+    }
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

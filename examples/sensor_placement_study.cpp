@@ -1,0 +1,65 @@
+// Sensor-placement study: how much localization accuracy does each extra
+// IoT sensor buy, and does the k-medoids placement beat scattering sensors
+// at random? This is the accuracy/cost tradeoff the paper's Decision
+// Support Module is meant to explore.
+//
+//   ./example_sensor_placement_study
+#include <cstdio>
+
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+
+int main() {
+  const auto net = networks::make_epa_net();
+  std::printf("network: %s — %zu candidate sensor locations (%zu nodes + %zu links)\n\n",
+              net.name().c_str(), net.num_nodes() + net.num_links(), net.num_nodes(),
+              net.num_links());
+
+  ExperimentConfig config;
+  config.train_samples = 700;
+  config.test_samples = 100;
+  config.scenarios.min_events = 1;
+  config.scenarios.max_events = 2;
+  config.elapsed_slots = {1};
+  config.seed = 31;
+  ExperimentContext context(net, config);
+
+  std::printf("%7s  %8s  %18s  %18s\n", "IoT %", "sensors", "k-medoids hamming",
+              "random hamming");
+  for (const double percent : {5.0, 10.0, 20.0, 40.0, 70.0, 100.0}) {
+    EvalOptions options;
+    options.kind = ModelKind::kRandomForest;
+    options.iot_percent = percent;
+    options.kmedoids_placement = true;
+    const auto kmedoids = context.evaluate(options);
+    options.kmedoids_placement = false;
+    const auto random = context.evaluate(options);
+    std::printf("%7.0f  %8zu  %18.3f  %18.3f\n", percent,
+                sensing::sensors_for_percentage(net, percent), kmedoids.hamming, random.hamming);
+  }
+
+  // What did k-medoids actually pick at 10%?
+  const auto& sensors = context.sensors_at(10.0);
+  std::printf("\nk-medoids picks at 10%% coverage (%zu sensors):\n", sensors.size());
+  for (const auto& sensor : sensors.sensors) std::printf("  %s\n", sensor.name.c_str());
+
+  // Greedy coverage-optimal placement (the paper's deferred optimization
+  // problem): how many scenarios does each additional sensor detect? A
+  // strict SNR threshold makes the criterion "unambiguous detection" —
+  // with the default (5 sigma) a single trunk flow meter already notices
+  // nearly every leak somewhere in the system.
+  GreedyPlacementOptions greedy_options;
+  greedy_options.snr_threshold = 60.0;
+  const auto greedy = place_sensors_greedy(context.train_batch(), 12, 0, greedy_options);
+  std::printf("\ngreedy max-coverage placement (%zu scenarios):\n", greedy.total_scenarios);
+  std::printf("%8s  %-14s  %s\n", "sensor#", "pick", "scenarios detected");
+  for (std::size_t i = 0; i < greedy.sensors.size(); ++i) {
+    std::printf("%8zu  %-14s  %zu / %zu\n", i + 1, greedy.sensors.sensors[i].name.c_str(),
+                greedy.coverage_curve[i], greedy.total_scenarios);
+  }
+  std::printf("\nreading: diminishing returns set in quickly — the first few well-placed\n"
+              "sensors carry most of the localization signal.\n");
+  return 0;
+}

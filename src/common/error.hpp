@@ -1,0 +1,47 @@
+// Error-handling helpers shared across AquaSCALE modules.
+//
+// The library uses exceptions for contract violations (bad input to a
+// public API) and for unrecoverable internal errors. `InvalidArgument`
+// corresponds to caller mistakes, `SolverError` to numerical failures
+// (e.g. a hydraulic solve that cannot converge).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aqua {
+
+/// Thrown when a caller passes an argument that violates a documented
+/// precondition of a public API.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an iterative numerical method fails to converge or a
+/// matrix factorization encounters a non-SPD system.
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an entity lookup (node name, link id, ...) fails.
+class NotFound : public std::out_of_range {
+ public:
+  explicit NotFound(const std::string& what) : std::out_of_range(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const std::string& msg) {
+  throw InvalidArgument(std::string("precondition failed: ") + expr +
+                        (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+/// Check a documented precondition of a public API; throws InvalidArgument.
+#define AQUA_REQUIRE(expr, msg)                       \
+  do {                                                \
+    if (!(expr)) ::aqua::detail::throw_invalid(#expr, (msg)); \
+  } while (0)
+
+}  // namespace aqua

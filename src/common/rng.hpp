@@ -1,0 +1,79 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in AquaSCALE (scenario generation, sensor
+// noise, tweet arrivals, ML subsampling) draws from an explicitly seeded
+// `Rng`. The generator is xoshiro256** (public domain, Blackman & Vigna),
+// which is fast, has a 256-bit state, and supports cheap `split()` so
+// parallel workers get independent deterministic streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aqua {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies (a subset of) UniformRandomBitGenerator so it can be used with
+/// <random> distributions, but the member distributions below are preferred
+/// because their output is identical across platforms and standard-library
+/// implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// A new generator whose stream is independent of (and deterministic
+  /// given) this one. Advances this generator's state.
+  Rng split() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller (cached spare).
+  double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Bernoulli trial with probability `p` of returning true.
+  bool bernoulli(double p) noexcept;
+  /// Poisson-distributed count with the given mean (Knuth for small mean,
+  /// PTRS-style rejection fallback for large).
+  int poisson(double mean) noexcept;
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// k distinct indices sampled uniformly from [0, n) (partial
+  /// Fisher-Yates). Requires k <= n. Result order is random.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace aqua

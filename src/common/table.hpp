@@ -1,0 +1,32 @@
+// Fixed-width console table printer used by the benchmark harnesses so
+// every figure reproduction prints readable, aligned rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aqua {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table (headers, separator, rows) as a string.
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aqua

@@ -1,0 +1,48 @@
+// A small fixed-size thread pool used to parallelize embarrassingly
+// parallel work: per-node classifier training (Algorithm 1 trains one
+// binary classifier per junction) and batch scenario simulation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aqua {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future reports completion / exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool for library internals.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace aqua

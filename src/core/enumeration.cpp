@@ -1,0 +1,157 @@
+#include "core/enumeration.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aqua::core {
+
+EnumerationLocalizer::EnumerationLocalizer(const hydraulics::Network& network,
+                                           sensing::SensorSet sensors, EnumerationConfig config)
+    : network_(network), labels_(network), sensors_(std::move(sensors)), config_(config) {
+  AQUA_REQUIRE(!config_.candidate_ecs.empty(), "need at least one candidate EC");
+  AQUA_REQUIRE(config_.max_leaks >= 1, "max leaks must be positive");
+}
+
+namespace {
+
+std::vector<double> fixed_heads_of(const hydraulics::Network& network) {
+  std::vector<double> fixed(network.num_nodes(), 0.0);
+  for (hydraulics::NodeId v = 0; v < network.num_nodes(); ++v) {
+    const auto& node = network.node(v);
+    if (node.type == hydraulics::NodeType::kReservoir) fixed[v] = node.elevation;
+    if (node.type == hydraulics::NodeType::kTank) fixed[v] = node.elevation + node.init_level;
+  }
+  return fixed;
+}
+
+std::vector<double> demands_of(const hydraulics::Network& network, std::size_t period) {
+  std::vector<double> demands(network.num_nodes(), 0.0);
+  for (hydraulics::NodeId v = 0; v < network.num_nodes(); ++v) {
+    demands[v] = network.demand_at(v, period);
+  }
+  return demands;
+}
+
+}  // namespace
+
+std::vector<double> EnumerationLocalizer::simulate_deltas(
+    const std::vector<std::pair<std::size_t, double>>& leaks, std::size_t before_period,
+    std::size_t after_period, std::size_t* solves) const {
+  // Snapshot-mode evaluation: healthy steady state at the "before" demand
+  // period, steady state with the hypothesized emitters at the "after"
+  // period. Tanks use initial levels (the baseline has no access to live
+  // internal tank state either).
+  hydraulics::Network candidate = network_;
+  candidate.clear_emitters();
+  const auto fixed = fixed_heads_of(candidate);
+
+  hydraulics::GgaSolver healthy_solver(candidate);
+  const auto before_state = healthy_solver.solve(demands_of(candidate, before_period), fixed);
+  ++*solves;
+
+  for (const auto& [label, ec] : leaks) candidate.set_emitter(labels_.node_of(label), ec);
+  hydraulics::GgaSolver leaky_solver(candidate);
+  const auto after_state =
+      leaky_solver.solve(demands_of(candidate, after_period), fixed, &before_state);
+  ++*solves;
+
+  std::vector<double> deltas(sensors_.size());
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    const auto& sensor = sensors_.sensors[i];
+    if (sensor.kind == sensing::SensorKind::kPressure) {
+      deltas[i] = after_state.pressure[sensor.index] - before_state.pressure[sensor.index];
+    } else {
+      deltas[i] = after_state.flow[sensor.index] - before_state.flow[sensor.index];
+    }
+  }
+  return deltas;
+}
+
+EnumerationOutcome EnumerationLocalizer::localize(std::span<const double> observed_deltas,
+                                                  std::size_t before_period,
+                                                  std::size_t after_period) const {
+  AQUA_REQUIRE(observed_deltas.size() == sensors_.size(),
+               "observed deltas must match the sensor set");
+  const auto start = std::chrono::steady_clock::now();
+
+  EnumerationOutcome outcome;
+  outcome.predicted.assign(labels_.num_labels(), 0);
+
+  // Shared healthy "before" state, computed once.
+  hydraulics::Network healthy = network_;
+  healthy.clear_emitters();
+  const auto fixed = fixed_heads_of(healthy);
+  hydraulics::GgaSolver healthy_solver(healthy);
+  const auto before_state = healthy_solver.solve(demands_of(healthy, before_period), fixed);
+  ++outcome.hydraulic_solves;
+
+  // One reusable leaky network copy; emitters are reset per hypothesis.
+  hydraulics::Network candidate = network_;
+  const auto after_demands = demands_of(candidate, after_period);
+
+  // Trial hypotheses can push the network into hydraulically infeasible
+  // regimes (several large emitters at once); those solves may not
+  // converge and simply mean "this hypothesis does not explain the data",
+  // so they score an infinite residual instead of aborting the search.
+  hydraulics::SolverOptions solver_options;
+  solver_options.throw_on_divergence = false;
+
+  auto eval_hypothesis = [&](const std::vector<std::pair<std::size_t, double>>& leaks) {
+    candidate.clear_emitters();
+    for (const auto& [label, ec] : leaks) candidate.set_emitter(labels_.node_of(label), ec);
+    hydraulics::GgaSolver solver(candidate, solver_options);
+    const auto after_state = solver.solve(after_demands, fixed, &before_state);
+    ++outcome.hydraulic_solves;
+    if (!after_state.converged) return std::numeric_limits<double>::infinity();
+    double ss = 0.0;
+    for (std::size_t i = 0; i < sensors_.size(); ++i) {
+      const auto& sensor = sensors_.sensors[i];
+      const double delta = sensor.kind == sensing::SensorKind::kPressure
+                               ? after_state.pressure[sensor.index] -
+                                     before_state.pressure[sensor.index]
+                               : after_state.flow[sensor.index] - before_state.flow[sensor.index];
+      const double d = delta - observed_deltas[i];
+      ss += d * d;
+    }
+    return std::sqrt(ss);
+  };
+
+  std::vector<std::pair<std::size_t, double>> hypothesis;
+  double current_residual = eval_hypothesis(hypothesis);
+
+  for (std::size_t round = 0; round < config_.max_leaks; ++round) {
+    double best_residual = current_residual;
+    std::pair<std::size_t, double> best_leak{0, 0.0};
+    bool found = false;
+    for (std::size_t label = 0; label < labels_.num_labels(); ++label) {
+      if (outcome.predicted[label] != 0) continue;
+      for (double ec : config_.candidate_ecs) {
+        auto trial = hypothesis;
+        trial.emplace_back(label, ec);
+        const double residual = eval_hypothesis(trial);
+        if (residual < best_residual) {
+          best_residual = residual;
+          best_leak = {label, ec};
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    const double improvement =
+        current_residual > 0.0 ? (current_residual - best_residual) / current_residual : 0.0;
+    if (improvement < config_.min_relative_improvement) break;
+    hypothesis.push_back(best_leak);
+    outcome.predicted[best_leak.first] = 1;
+    current_residual = best_residual;
+  }
+
+  outcome.residual = current_residual;
+  outcome.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return outcome;
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,49 @@
+// Mapping between network node ids and the dense label space of the
+// multi-label classification problem. Leak events "are assumed to occur at
+// node (the joint of pipes)" (Sec. III-B), so labels enumerate junctions
+// in node-id order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hydraulics/network.hpp"
+
+namespace aqua::core {
+
+class LabelSpace {
+ public:
+  static constexpr std::size_t kNoLabel = static_cast<std::size_t>(-1);
+
+  explicit LabelSpace(const hydraulics::Network& network)
+      : junctions_(network.junction_ids()), label_of_node_(network.num_nodes(), kNoLabel) {
+    for (std::size_t label = 0; label < junctions_.size(); ++label) {
+      label_of_node_[junctions_[label]] = label;
+    }
+  }
+
+  std::size_t num_labels() const noexcept { return junctions_.size(); }
+
+  hydraulics::NodeId node_of(std::size_t label) const {
+    AQUA_REQUIRE(label < junctions_.size(), "label out of range");
+    return junctions_[label];
+  }
+
+  std::size_t label_of(hydraulics::NodeId node) const {
+    AQUA_REQUIRE(node < label_of_node_.size(), "node out of range");
+    return label_of_node_[node];
+  }
+
+  bool has_label(hydraulics::NodeId node) const {
+    return node < label_of_node_.size() && label_of_node_[node] != kNoLabel;
+  }
+
+  const std::vector<hydraulics::NodeId>& junctions() const noexcept { return junctions_; }
+
+ private:
+  std::vector<hydraulics::NodeId> junctions_;
+  std::vector<std::size_t> label_of_node_;
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,39 @@
+// Greedy sensor-placement optimization — the problem the paper defers
+// ("the problem of identifying an optimal sensor placement for leak
+// detection will be studied in future work", Sec. IV-A) and the Decision
+// Support Module is meant to explore. Given a simulated scenario batch,
+// greedily picks the sensor whose Δ-signal detects the most not-yet-
+// covered scenarios: classic submodular max-coverage, within (1 - 1/e) of
+// optimal for the coverage objective.
+#pragma once
+
+#include <cstdint>
+
+#include "core/snapshots.hpp"
+#include "sensing/sensors.hpp"
+
+namespace aqua::core {
+
+struct GreedyPlacementOptions {
+  /// A scenario counts as detected by a sensor when the sensor's |Δ|
+  /// exceeds this multiple of its measurement noise sigma.
+  double snr_threshold = 5.0;
+  /// Noise model supplying the per-kind sigmas.
+  sensing::NoiseModel noise;
+};
+
+struct GreedyPlacementResult {
+  sensing::SensorSet sensors;
+  /// Scenarios covered after each greedy pick (monotone non-decreasing).
+  std::vector<std::size_t> coverage_curve;
+  std::size_t total_scenarios = 0;
+};
+
+/// Selects `count` sensors over all |V|+|E| candidates using the batch's
+/// snapshots at `elapsed_index`. Ties break toward lower candidate index,
+/// so the result is deterministic.
+GreedyPlacementResult place_sensors_greedy(const SnapshotBatch& batch, std::size_t count,
+                                           std::size_t elapsed_index = 0,
+                                           const GreedyPlacementOptions& options = {});
+
+}  // namespace aqua::core

@@ -1,0 +1,76 @@
+#include "core/profile.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/hybrid_rsl.hpp"
+#include "ml/linear_models.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svm.hpp"
+
+namespace aqua::core {
+
+std::string model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinearR:
+      return "LinearR";
+    case ModelKind::kLogisticR:
+      return "LogisticR";
+    case ModelKind::kGradientBoosting:
+      return "GB";
+    case ModelKind::kRandomForest:
+      return "RF";
+    case ModelKind::kSvm:
+      return "SVM";
+    case ModelKind::kHybridRsl:
+      return "HybridRSL";
+  }
+  return "unknown";
+}
+
+std::vector<ModelKind> all_model_kinds() {
+  return {ModelKind::kLinearR, ModelKind::kLogisticR, ModelKind::kGradientBoosting,
+          ModelKind::kRandomForest, ModelKind::kSvm, ModelKind::kHybridRsl};
+}
+
+ml::ClassifierFactory make_classifier_factory(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinearR:
+      return [] { return std::make_unique<ml::LinearRegressionClassifier>(); };
+    case ModelKind::kLogisticR:
+      return [] { return std::make_unique<ml::LogisticRegressionClassifier>(); };
+    case ModelKind::kGradientBoosting:
+      return [] { return std::make_unique<ml::GradientBoostingClassifier>(); };
+    case ModelKind::kRandomForest:
+      return [] { return std::make_unique<ml::RandomForestClassifier>(); };
+    case ModelKind::kSvm:
+      return [] { return std::make_unique<ml::SvmClassifier>(); };
+    case ModelKind::kHybridRsl:
+      return [] { return std::make_unique<ml::HybridRslClassifier>(); };
+  }
+  throw InvalidArgument("unknown model kind");
+}
+
+ProfileModel train_profile(const SnapshotBatch& batch, std::span<const LeakScenario> scenarios,
+                           const sensing::SensorSet& sensors, std::size_t elapsed_index,
+                           const ProfileTrainingConfig& config) {
+  ProfileModel profile;
+  profile.sensors = sensors;
+  profile.noise = config.noise;
+  profile.include_time_feature = config.include_time_feature;
+  profile.kind = config.kind;
+  profile.elapsed_index = elapsed_index;
+  profile.model = ml::MultiLabelModel(make_classifier_factory(config.kind));
+
+  const auto dataset = batch.build_dataset(scenarios, sensors, elapsed_index, config.noise,
+                                           config.noise_seed, config.include_time_feature);
+
+  const auto start = std::chrono::steady_clock::now();
+  profile.model.fit(dataset, config.parallel);
+  profile.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return profile;
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,59 @@
+// Phase I (Sec. IV-A, Algorithm 1): train the offline profile model
+// f = {f_v} on a large corpus of simulated scenarios. The model kind is
+// plug-and-play; `make_classifier_factory` exposes the paper's lineup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/label_space.hpp"
+#include "core/snapshots.hpp"
+#include "ml/multilabel.hpp"
+#include "sensing/placement.hpp"
+
+namespace aqua::core {
+
+enum class ModelKind {
+  kLinearR,
+  kLogisticR,
+  kGradientBoosting,
+  kRandomForest,
+  kSvm,
+  kHybridRsl,
+};
+
+std::string model_kind_name(ModelKind kind);
+
+/// All kinds, in the order the paper's Fig. 6 compares them.
+std::vector<ModelKind> all_model_kinds();
+
+/// Factory producing fresh classifiers of the given kind with sensible
+/// defaults for per-node leak classification.
+ml::ClassifierFactory make_classifier_factory(ModelKind kind);
+
+/// The trained profile plus everything needed to featurize live data the
+/// same way the training set was featurized.
+struct ProfileModel {
+  ml::MultiLabelModel model;
+  sensing::SensorSet sensors;
+  sensing::NoiseModel noise;
+  bool include_time_feature = true;
+  ModelKind kind = ModelKind::kHybridRsl;
+  std::size_t elapsed_index = 0;  // which entry of the batch's elapsed list
+  double train_seconds = 0.0;
+};
+
+struct ProfileTrainingConfig {
+  ModelKind kind = ModelKind::kHybridRsl;
+  sensing::NoiseModel noise;
+  bool include_time_feature = true;
+  std::uint64_t noise_seed = 555;
+  bool parallel = true;
+};
+
+/// Trains a profile on the batch's scenarios at the given elapsed index.
+ProfileModel train_profile(const SnapshotBatch& batch, std::span<const LeakScenario> scenarios,
+                           const sensing::SensorSet& sensors, std::size_t elapsed_index,
+                           const ProfileTrainingConfig& config);
+
+}  // namespace aqua::core

@@ -1,0 +1,84 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aqua::core {
+
+ScenarioGenerator::ScenarioGenerator(const hydraulics::Network& network, ScenarioConfig config)
+    : network_(network),
+      config_(config),
+      labels_(network),
+      rng_(config.seed),
+      slot_seconds_(900.0) {
+  AQUA_REQUIRE(config_.min_events >= 1, "scenarios need at least one event");
+  AQUA_REQUIRE(config_.max_events >= config_.min_events, "max events below min");
+  AQUA_REQUIRE(config_.max_events <= labels_.num_labels(),
+               "more concurrent events than junctions");
+  AQUA_REQUIRE(config_.ec_min > 0.0 && config_.ec_max >= config_.ec_min, "bad EC range");
+  AQUA_REQUIRE(config_.min_leak_slot >= 1, "leak slot must have a predecessor");
+  AQUA_REQUIRE(config_.max_leak_slot >= config_.min_leak_slot, "bad leak-slot range");
+}
+
+LeakScenario ScenarioGenerator::next() {
+  LeakScenario scenario;
+  const std::size_t num_labels = labels_.num_labels();
+  scenario.truth.assign(num_labels, 0);
+  scenario.frozen.assign(num_labels, 0);
+
+  const auto count = static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(config_.min_events),
+                       static_cast<std::int64_t>(config_.max_events)));
+  scenario.leak_slot = static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(config_.min_leak_slot),
+                       static_cast<std::int64_t>(config_.max_leak_slot)));
+
+  std::vector<std::size_t> leak_labels;
+  if (config_.cold_weather) {
+    scenario.temperature_f = config_.cold_temperature_f;
+    // Freeze process first; leaks occur among frozen joints (ice blockage
+    // then burst). Guarantee feasibility by freezing the chosen leak
+    // locations when the freeze draw leaves too few.
+    for (std::size_t v = 0; v < num_labels; ++v) {
+      scenario.frozen[v] = rng_.bernoulli(config_.freeze.p_freeze) ? 1 : 0;
+    }
+    std::vector<std::size_t> frozen_labels;
+    for (std::size_t v = 0; v < num_labels; ++v) {
+      if (scenario.frozen[v] != 0) frozen_labels.push_back(v);
+    }
+    if (frozen_labels.size() >= count) {
+      const auto picks = rng_.sample_without_replacement(frozen_labels.size(), count);
+      for (std::size_t p : picks) leak_labels.push_back(frozen_labels[p]);
+    } else {
+      const auto picks = rng_.sample_without_replacement(num_labels, count);
+      leak_labels.assign(picks.begin(), picks.end());
+      for (std::size_t v : leak_labels) scenario.frozen[v] = 1;
+    }
+  } else {
+    scenario.temperature_f = config_.warm_temperature_f;
+    const auto picks = rng_.sample_without_replacement(num_labels, count);
+    leak_labels.assign(picks.begin(), picks.end());
+  }
+
+  const double start_time = static_cast<double>(scenario.leak_slot) * slot_seconds_;
+  for (std::size_t label : leak_labels) {
+    hydraulics::LeakEvent event;
+    event.node = labels_.node_of(label);
+    event.coefficient = rng_.uniform(config_.ec_min, config_.ec_max);
+    event.exponent = 0.5;
+    event.start_time_s = start_time;
+    scenario.events.push_back(event);
+    scenario.truth[label] = 1;
+  }
+  return scenario;
+}
+
+std::vector<LeakScenario> ScenarioGenerator::generate(std::size_t count) {
+  std::vector<LeakScenario> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) scenarios.push_back(next());
+  return scenarios;
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,62 @@
+// Failure-scenario generation (Sec. V-A): each scenario carries 1..m
+// concurrent leak events with "arbitrary locations and sizes but same
+// starting time", the number of events uniform in U(1, max). The
+// cold-weather variant ("Pipe Failures due to Low Temperature") drives
+// leak locations from the freeze process so weather information becomes an
+// informative expert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/label_space.hpp"
+#include "fusion/weather.hpp"
+#include "hydraulics/simulation.hpp"
+#include "ml/dataset.hpp"
+
+namespace aqua::core {
+
+struct LeakScenario {
+  std::vector<hydraulics::LeakEvent> events;  // all share the same start slot
+  std::size_t leak_slot = 0;                  // e.t in IoT slots
+  ml::Labels truth;                           // per-label leak indicator
+  std::vector<std::uint8_t> frozen;           // per-label frozen indicator (may be all 0)
+  double temperature_f = 55.0;
+};
+
+struct ScenarioConfig {
+  std::size_t min_events = 1;
+  std::size_t max_events = 5;     // U(min, max) events per scenario
+  double ec_min = 0.0015;         // leak size (emitter coefficient) range
+  double ec_max = 0.0090;
+  std::size_t min_leak_slot = 4;  // e.t randomized across the day
+  std::size_t max_leak_slot = 40;
+  bool cold_weather = false;      // freeze-driven multi-failure
+  fusion::FreezeModel freeze;
+  double cold_temperature_f = 12.0;  // ambient during cold scenarios
+  double warm_temperature_f = 55.0;
+  std::uint64_t seed = 1234;
+};
+
+class ScenarioGenerator {
+ public:
+  ScenarioGenerator(const hydraulics::Network& network, ScenarioConfig config);
+
+  /// One scenario; deterministic given the generator state.
+  LeakScenario next();
+
+  /// A batch of scenarios.
+  std::vector<LeakScenario> generate(std::size_t count);
+
+  const ScenarioConfig& config() const noexcept { return config_; }
+  const LabelSpace& labels() const noexcept { return labels_; }
+
+ private:
+  const hydraulics::Network& network_;
+  ScenarioConfig config_;
+  LabelSpace labels_;
+  Rng rng_;
+  double slot_seconds_;
+};
+
+}  // namespace aqua::core

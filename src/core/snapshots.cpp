@@ -1,0 +1,136 @@
+#include "core/snapshots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace aqua::core {
+
+SnapshotBatch::SnapshotBatch(const hydraulics::Network& network,
+                             std::span<const LeakScenario> scenarios,
+                             std::vector<std::size_t> elapsed_slots,
+                             hydraulics::SimulationOptions options, bool parallel)
+    : network_(network), elapsed_slots_(std::move(elapsed_slots)) {
+  AQUA_REQUIRE(!elapsed_slots_.empty(), "need at least one elapsed-slot value");
+  AQUA_REQUIRE(std::is_sorted(elapsed_slots_.begin(), elapsed_slots_.end()),
+               "elapsed slots must be ascending");
+
+  const std::size_t max_elapsed = elapsed_slots_.back();
+  snapshots_.resize(scenarios.size());
+
+  auto run_one = [&](std::size_t i) {
+    const LeakScenario& scenario = scenarios[i];
+    hydraulics::SimulationOptions run_options = options;
+    // Simulate just past the last snapshot we need.
+    run_options.duration_s =
+        static_cast<double>(scenario.leak_slot + max_elapsed) * run_options.hydraulic_step_s;
+    hydraulics::Simulation simulation(network_, run_options);
+    simulation.schedule_leaks(scenario.events);
+    const auto results = simulation.run();
+
+    ScenarioSnapshots& snap = snapshots_[i];
+    const std::size_t nodes = results.num_nodes();
+    const std::size_t links = results.num_links();
+    const std::size_t before = scenario.leak_slot - 1;
+    AQUA_REQUIRE(scenario.leak_slot >= 1, "leak slot must have a predecessor");
+    snap.before_pressure.resize(nodes);
+    snap.before_flow.resize(links);
+    for (std::size_t v = 0; v < nodes; ++v) snap.before_pressure[v] = results.pressure(before, v);
+    for (std::size_t l = 0; l < links; ++l) snap.before_flow[l] = results.flow(before, l);
+
+    const double seconds_per_day = 24.0 * 3600.0;
+    snap.day_fraction = std::fmod(
+        static_cast<double>(scenario.leak_slot) * run_options.hydraulic_step_s, seconds_per_day) /
+        seconds_per_day;
+
+    snap.after_pressure.resize(elapsed_slots_.size());
+    snap.after_flow.resize(elapsed_slots_.size());
+    for (std::size_t e = 0; e < elapsed_slots_.size(); ++e) {
+      const std::size_t step = scenario.leak_slot + elapsed_slots_[e];
+      AQUA_REQUIRE(step < results.num_steps(), "internal: snapshot beyond simulation end");
+      snap.after_pressure[e].resize(nodes);
+      snap.after_flow[e].resize(links);
+      for (std::size_t v = 0; v < nodes; ++v) {
+        snap.after_pressure[e][v] = results.pressure(step, v);
+      }
+      for (std::size_t l = 0; l < links; ++l) snap.after_flow[e][l] = results.flow(step, l);
+    }
+  };
+
+  if (parallel) {
+    ThreadPool::global().parallel_for(scenarios.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) run_one(i);
+  }
+}
+
+const ScenarioSnapshots& SnapshotBatch::snapshots(std::size_t scenario) const {
+  AQUA_REQUIRE(scenario < snapshots_.size(), "scenario index out of range");
+  return snapshots_[scenario];
+}
+
+std::vector<double> SnapshotBatch::features(std::size_t scenario,
+                                            const sensing::SensorSet& sensors,
+                                            std::size_t elapsed_index,
+                                            const sensing::NoiseModel& noise, Rng& rng,
+                                            bool include_time_feature) const {
+  AQUA_REQUIRE(scenario < snapshots_.size(), "scenario index out of range");
+  AQUA_REQUIRE(elapsed_index < elapsed_slots_.size(), "elapsed index out of range");
+  const ScenarioSnapshots& snap = snapshots_[scenario];
+
+  std::vector<double> out;
+  out.reserve(sensors.size() + (include_time_feature ? 1 : 0));
+  for (const auto& sensor : sensors.sensors) {
+    double before = 0.0, after = 0.0;
+    if (sensor.kind == sensing::SensorKind::kPressure) {
+      before = snap.before_pressure[sensor.index] + rng.normal(0.0, noise.pressure_sigma_m);
+      after = snap.after_pressure[elapsed_index][sensor.index] +
+              rng.normal(0.0, noise.pressure_sigma_m);
+    } else {
+      const double b = snap.before_flow[sensor.index];
+      const double a = snap.after_flow[elapsed_index][sensor.index];
+      const double sigma_b =
+          std::max(noise.flow_sigma_frac * std::abs(b), noise.flow_sigma_floor_m3s);
+      const double sigma_a =
+          std::max(noise.flow_sigma_frac * std::abs(a), noise.flow_sigma_floor_m3s);
+      before = b + rng.normal(0.0, sigma_b);
+      after = a + rng.normal(0.0, sigma_a);
+    }
+    out.push_back(after - before);
+  }
+  if (include_time_feature) out.push_back(snap.day_fraction);
+  return out;
+}
+
+ml::MultiLabelDataset SnapshotBatch::build_dataset(std::span<const LeakScenario> scenarios,
+                                                   const sensing::SensorSet& sensors,
+                                                   std::size_t elapsed_index,
+                                                   const sensing::NoiseModel& noise,
+                                                   std::uint64_t seed,
+                                                   bool include_time_feature) const {
+  AQUA_REQUIRE(scenarios.size() == snapshots_.size(),
+               "scenario list must match the simulated batch");
+  AQUA_REQUIRE(!scenarios.empty(), "empty scenario batch");
+
+  const std::size_t feature_dim = sensors.size() + (include_time_feature ? 1 : 0);
+  ml::MultiLabelDataset data;
+  data.features = ml::Matrix(scenarios.size(), feature_dim);
+  data.labels.resize(scenarios.size());
+  for (const auto& sensor : sensors.sensors) data.feature_names.push_back(sensor.name);
+  if (include_time_feature) data.feature_names.push_back("day_fraction");
+
+  Rng root(seed);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    Rng rng = root.split();
+    const auto row =
+        features(i, sensors, elapsed_index, noise, rng, include_time_feature);
+    std::copy(row.begin(), row.end(), data.features.row(i).begin());
+    data.labels[i] = scenarios[i].truth;
+  }
+  data.check();
+  return data;
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,65 @@
+// Batched EPANET++ execution for scenario corpora. Running one extended-
+// period simulation per training scenario is the dominant cost of Phase I,
+// so the batch (a) parallelizes EPS runs on the process thread pool and
+// (b) stores only the snapshots features need: the full network state at
+// e.t−1 and at e.t+n for every elapsed count n of interest. Datasets for
+// any sensor set / noise / elapsed-slot combination are then assembled
+// without re-simulating.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "ml/dataset.hpp"
+#include "sensing/sensors.hpp"
+
+namespace aqua::core {
+
+/// Per-scenario snapshot pair set.
+struct ScenarioSnapshots {
+  std::vector<double> before_pressure;  // per node, at e.t - 1
+  std::vector<double> before_flow;      // per link
+  // Indexed by position in SnapshotBatch::elapsed_slots().
+  std::vector<std::vector<double>> after_pressure;
+  std::vector<std::vector<double>> after_flow;
+  double day_fraction = 0.0;  // time-of-day of e.t in [0,1) (context feature)
+};
+
+class SnapshotBatch {
+ public:
+  /// Simulates every scenario once (in parallel) and keeps snapshots for
+  /// each n in `elapsed_slots` (must be non-empty, ascending).
+  SnapshotBatch(const hydraulics::Network& network, std::span<const LeakScenario> scenarios,
+                std::vector<std::size_t> elapsed_slots,
+                hydraulics::SimulationOptions options = {}, bool parallel = true);
+
+  std::size_t size() const noexcept { return snapshots_.size(); }
+  const std::vector<std::size_t>& elapsed_slots() const noexcept { return elapsed_slots_; }
+  const ScenarioSnapshots& snapshots(std::size_t scenario) const;
+  const hydraulics::Network& network() const noexcept { return network_; }
+
+  /// Δ-feature vector of one scenario for a sensor set at elapsed count
+  /// `elapsed_slots()[elapsed_index]`, with fresh measurement noise from
+  /// `rng`. Layout: one Δ per sensor, then (when enabled) the time-of-day
+  /// context feature.
+  std::vector<double> features(std::size_t scenario, const sensing::SensorSet& sensors,
+                               std::size_t elapsed_index, const sensing::NoiseModel& noise,
+                               Rng& rng, bool include_time_feature = true) const;
+
+  /// Assembles a multi-label dataset over all scenarios for one sensor set
+  /// and elapsed index. Noise is drawn deterministically from `seed`.
+  ml::MultiLabelDataset build_dataset(std::span<const LeakScenario> scenarios,
+                                      const sensing::SensorSet& sensors,
+                                      std::size_t elapsed_index,
+                                      const sensing::NoiseModel& noise, std::uint64_t seed,
+                                      bool include_time_feature = true) const;
+
+ private:
+  const hydraulics::Network& network_;
+  std::vector<std::size_t> elapsed_slots_;
+  std::vector<ScenarioSnapshots> snapshots_;
+};
+
+}  // namespace aqua::core

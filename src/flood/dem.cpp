@@ -1,0 +1,79 @@
+#include "flood/dem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "networks/generator.hpp"
+
+namespace aqua::flood {
+
+Dem::Dem(const hydraulics::Network& network, std::size_t rows, std::size_t cols, double margin_m)
+    : rows_(rows), cols_(cols) {
+  AQUA_REQUIRE(rows >= 2 && cols >= 2, "DEM needs at least a 2x2 grid");
+  AQUA_REQUIRE(network.num_nodes() > 0, "DEM needs network nodes");
+
+  double min_x = std::numeric_limits<double>::max(), max_x = std::numeric_limits<double>::lowest();
+  double min_y = min_x, max_y = max_x;
+  for (const auto& node : network.nodes()) {
+    min_x = std::min(min_x, node.x);
+    max_x = std::max(max_x, node.x);
+    min_y = std::min(min_y, node.y);
+    max_y = std::max(max_y, node.y);
+  }
+  x0_ = min_x - margin_m;
+  y0_ = min_y - margin_m;
+  dx_ = (max_x - min_x + 2.0 * margin_m) / static_cast<double>(cols);
+  dy_ = (max_y - min_y + 2.0 * margin_m) / static_cast<double>(rows);
+
+  z_.assign(rows_ * cols_, 0.0);
+  // Inverse-distance weighting from junction elevations with a smooth
+  // terrain prior: IDW dominates near the network; the prior fills the
+  // margins. Weight of the prior equals one node at distance `prior_d`.
+  constexpr double kPower = 2.0;
+  constexpr double kPriorDistance = 400.0;
+  const double prior_weight = 1.0 / std::pow(kPriorDistance, kPower);
+
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double x = x_of(c), y = y_of(r);
+      const double prior = networks::terrain_elevation(x, y, 10.0, 20.0);
+      double weight_sum = prior_weight;
+      double value_sum = prior_weight * prior;
+      bool exact = false;
+      for (const auto& node : network.nodes()) {
+        if (node.type != hydraulics::NodeType::kJunction) continue;
+        const double d2 = (node.x - x) * (node.x - x) + (node.y - y) * (node.y - y);
+        if (d2 < 1.0) {  // cell center coincides with a node
+          z_[r * cols_ + c] = node.elevation;
+          exact = true;
+          break;
+        }
+        const double w = 1.0 / std::pow(d2, kPower / 2.0);
+        weight_sum += w;
+        value_sum += w * node.elevation;
+      }
+      if (!exact) z_[r * cols_ + c] = value_sum / weight_sum;
+    }
+  }
+}
+
+std::pair<std::size_t, std::size_t> Dem::cell_of(double x, double y) const noexcept {
+  const auto clamp_index = [](double v, std::size_t n) {
+    if (v < 0.0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  return {clamp_index((y - y0_) / dy_, rows_), clamp_index((x - x0_) / dx_, cols_)};
+}
+
+double Dem::min_elevation() const noexcept {
+  return *std::min_element(z_.begin(), z_.end());
+}
+
+double Dem::max_elevation() const noexcept {
+  return *std::max_element(z_.begin(), z_.end());
+}
+
+}  // namespace aqua::flood

@@ -1,0 +1,45 @@
+// Digital elevation model for flood prediction (Sec. V-D, Fig. 11a): a
+// regular grid "interpolated from node elevations" of the water network by
+// inverse-distance weighting, blended with the same synthetic terrain the
+// network builders sample so off-network cells stay physically coherent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hydraulics/network.hpp"
+
+namespace aqua::flood {
+
+class Dem {
+ public:
+  /// Builds a rows x cols grid covering the network's bounding box plus
+  /// `margin_m` on every side.
+  Dem(const hydraulics::Network& network, std::size_t rows, std::size_t cols,
+      double margin_m = 120.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  double cell_size_x() const noexcept { return dx_; }
+  double cell_size_y() const noexcept { return dy_; }
+
+  double elevation(std::size_t r, std::size_t c) const { return z_[r * cols_ + c]; }
+  const std::vector<double>& data() const noexcept { return z_; }
+
+  /// World coordinates of a cell center.
+  double x_of(std::size_t c) const noexcept { return x0_ + (static_cast<double>(c) + 0.5) * dx_; }
+  double y_of(std::size_t r) const noexcept { return y0_ + (static_cast<double>(r) + 0.5) * dy_; }
+
+  /// Cell containing a world point (clamped to the grid).
+  std::pair<std::size_t, std::size_t> cell_of(double x, double y) const noexcept;
+
+  double min_elevation() const noexcept;
+  double max_elevation() const noexcept;
+
+ private:
+  std::size_t rows_, cols_;
+  double x0_, y0_, dx_, dy_;
+  std::vector<double> z_;
+};
+
+}  // namespace aqua::flood

@@ -1,0 +1,123 @@
+#include "graph/kmedoids.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aqua::graph {
+namespace {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMedoidsResult kmedoids(const std::vector<std::vector<double>>& points, std::size_t k,
+                        const KMedoidsOptions& options) {
+  const std::size_t n = points.size();
+  AQUA_REQUIRE(k >= 1, "k must be positive");
+  AQUA_REQUIRE(k <= n, "k cannot exceed the number of points");
+  for (const auto& p : points) {
+    AQUA_REQUIRE(p.size() == points.front().size(), "points must share a dimension");
+  }
+
+  Rng rng(options.seed);
+  KMedoidsResult result;
+
+  // k-means++-style seeding: first medoid uniform, the rest proportional to
+  // squared distance from the nearest chosen medoid.
+  result.medoids.push_back(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  std::vector<double> nearest_sq(n, std::numeric_limits<double>::infinity());
+  while (result.medoids.size() < k) {
+    const auto& latest = points[result.medoids.back()];
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest_sq[i] = std::min(nearest_sq[i], squared_distance(points[i], latest));
+    }
+    double total = 0.0;
+    for (double d : nearest_sq) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with medoids; pick any non-medoid.
+      for (std::size_t i = 0; i < n && result.medoids.size() < k; ++i) {
+        bool taken = false;
+        for (std::size_t m : result.medoids) taken = taken || (m == i);
+        if (!taken) result.medoids.push_back(i);
+      }
+      break;
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= nearest_sq[i];
+      if (target < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.medoids.push_back(chosen);
+  }
+
+  result.assignment.assign(n, 0);
+  auto assign_all = [&]() {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_cluster = 0;
+      for (std::size_t c = 0; c < result.medoids.size(); ++c) {
+        const double d = squared_distance(points[i], points[result.medoids[c]]);
+        if (d < best) {
+          best = d;
+          best_cluster = c;
+        }
+      }
+      result.assignment[i] = best_cluster;
+      cost += std::sqrt(best);
+    }
+    return cost;
+  };
+
+  result.total_cost = assign_all();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    // For each cluster, move the medoid to the member minimizing the sum of
+    // distances to the other members (the PAM update restricted to within-
+    // cluster swaps, which converges and is O(n^2/k) per cluster).
+    for (std::size_t c = 0; c < result.medoids.size(); ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (result.assignment[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::size_t best_medoid = result.medoids[c];
+      for (std::size_t candidate : members) {
+        double cost = 0.0;
+        for (std::size_t member : members) {
+          cost += std::sqrt(squared_distance(points[candidate], points[member]));
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != result.medoids[c]) {
+        result.medoids[c] = best_medoid;
+        changed = true;
+      }
+    }
+    const double new_cost = assign_all();
+    result.total_cost = new_cost;
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace aqua::graph

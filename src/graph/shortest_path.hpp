@@ -1,0 +1,29 @@
+// Shortest-path queries over pipe-length weights (Dijkstra). Used for the
+// Fig. 2 distance-decay analysis and for clique construction around tweet
+// locations.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace aqua::graph {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct ShortestPaths {
+  std::vector<double> distance;       // kUnreachable when disconnected
+  std::vector<VertexId> predecessor;  // source's and unreachable vertices' pred = self
+};
+
+/// Single-source Dijkstra with a binary heap; O((V+E) log V).
+ShortestPaths dijkstra(const Graph& g, VertexId source);
+
+/// Reconstructs the vertex sequence source..target (empty if unreachable).
+std::vector<VertexId> extract_path(const ShortestPaths& paths, VertexId source, VertexId target);
+
+/// All-pairs distances via repeated Dijkstra (fine at network scale).
+std::vector<std::vector<double>> all_pairs_distances(const Graph& g);
+
+}  // namespace aqua::graph

@@ -1,0 +1,49 @@
+// Head-loss models for pipes. EPANET's default — and ours — is
+// Hazen-Williams; Darcy-Weisbach (Swamee-Jain friction factor) is provided
+// as an alternative. Both are exposed as (loss, gradient) pairs evaluated
+// at a signed flow, which is exactly what the Global Gradient Algorithm
+// consumes each Newton iteration.
+#pragma once
+
+#include "hydraulics/network.hpp"
+
+namespace aqua::hydraulics {
+
+enum class HeadLossModel { kHazenWilliams, kDarcyWeisbach };
+
+/// Head loss h(q) [m] and gradient dh/dq [s/m^2] of a link at signed flow
+/// q [m^3/s]. h is odd in q; gradient is strictly positive (floored away
+/// from zero so the GGA matrix stays SPD near q = 0).
+struct LossGradient {
+  double loss = 0.0;
+  double gradient = 0.0;
+};
+
+/// Hazen-Williams resistance coefficient r such that h = r * q^1.852
+/// (SI units; r = 10.667 L / (C^1.852 d^4.871)).
+double hazen_williams_resistance(double length_m, double diameter_m, double roughness_c);
+
+/// Darcy-Weisbach resistance using the Swamee-Jain explicit friction
+/// factor at a reference Reynolds number (fixed-point free approximation
+/// adequate for distribution mains; roughness here is in mm).
+double darcy_weisbach_resistance(double length_m, double diameter_m, double roughness_mm,
+                                 double flow_m3s);
+
+/// Evaluates loss and gradient for any link type:
+///  - open pipe:   h = (r + m) |q|^(n-1) q with n = 1.852 (HW)
+///  - pump:        h = -(h0 - r q^w), restricted to forward flow
+///  - valve:       minor-loss element from setting; closed = huge resistance
+///  - closed link: linear with a very large resistance (keeps the system
+///    nonsingular without re-assembling the sparsity pattern)
+LossGradient link_loss(const Link& link, double flow, HeadLossModel model);
+
+/// Emitter (leak) outflow Q = EC * max(p, 0)^beta and its gradient w.r.t.
+/// head. A quadratic smoothing below `p_smooth` keeps the Jacobian
+/// continuous as pressure crosses zero.
+struct EmitterFlow {
+  double flow = 0.0;      // [m^3/s]
+  double gradient = 0.0;  // d(flow)/d(head) [m^2/s]
+};
+EmitterFlow emitter_flow(double coefficient, double exponent, double pressure_head);
+
+}  // namespace aqua::hydraulics

@@ -1,0 +1,204 @@
+#include "hydraulics/inp_io.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace aqua::hydraulics {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto pos = line.find(';');
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+double parse_double(const std::string& token, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    AQUA_REQUIRE(consumed == token.size(), "trailing characters in number");
+    return value;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("INP: bad number '" + token + "' in " + context);
+  }
+}
+
+}  // namespace
+
+std::string to_inp(const Network& network) {
+  std::ostringstream out;
+  write_inp(network, out);
+  return out.str();
+}
+
+void write_inp(const Network& network, std::ostream& out) {
+  out << std::setprecision(12);
+  out << "[TITLE]\n" << network.name() << "\n\n";
+
+  out << "[JUNCTIONS]\n;id elevation demand_lps pattern\n";
+  for (const Node& n : network.nodes()) {
+    if (n.type != NodeType::kJunction) continue;
+    out << n.name << ' ' << n.elevation << ' ' << n.base_demand * 1000.0 << ' '
+        << n.demand_pattern << "\n";
+  }
+  out << "\n[RESERVOIRS]\n;id head\n";
+  for (const Node& n : network.nodes()) {
+    if (n.type != NodeType::kReservoir) continue;
+    out << n.name << ' ' << n.elevation << "\n";
+  }
+  out << "\n[TANKS]\n;id elevation init min max diameter\n";
+  for (const Node& n : network.nodes()) {
+    if (n.type != NodeType::kTank) continue;
+    out << n.name << ' ' << n.elevation << ' ' << n.init_level << ' ' << n.min_level << ' '
+        << n.max_level << ' ' << n.diameter << "\n";
+  }
+  out << "\n[PIPES]\n;id from to length diameter roughness status\n";
+  for (const Link& l : network.links()) {
+    if (l.type != LinkType::kPipe) continue;
+    out << l.name << ' ' << network.node(l.from).name << ' ' << network.node(l.to).name << ' '
+        << l.length << ' ' << l.diameter << ' ' << l.roughness << ' '
+        << (l.status == LinkStatus::kOpen ? "OPEN" : "CLOSED") << "\n";
+  }
+  out << "\n[PUMPS]\n;id from to shutoff_head coefficient exponent\n";
+  for (const Link& l : network.links()) {
+    if (l.type != LinkType::kPump) continue;
+    out << l.name << ' ' << network.node(l.from).name << ' ' << network.node(l.to).name << ' '
+        << l.pump.shutoff_head << ' ' << l.pump.coefficient << ' ' << l.pump.exponent << "\n";
+  }
+  out << "\n[VALVES]\n;id from to diameter setting\n";
+  for (const Link& l : network.links()) {
+    if (l.type != LinkType::kValve) continue;
+    out << l.name << ' ' << network.node(l.from).name << ' ' << network.node(l.to).name << ' '
+        << l.diameter << ' ' << l.valve_setting << "\n";
+  }
+  out << "\n[PATTERNS]\n;index multipliers...\n";
+  for (std::size_t i = 0; i < network.num_patterns(); ++i) {
+    const Pattern& p = network.pattern(static_cast<int>(i));
+    out << i;
+    for (double m : p.multipliers) out << ' ' << m;
+    out << "\n";
+  }
+  out << "\n[EMITTERS]\n;node coefficient exponent\n";
+  for (const Node& n : network.nodes()) {
+    if (n.type == NodeType::kJunction && n.emitter_coefficient > 0.0) {
+      out << n.name << ' ' << n.emitter_coefficient << ' ' << n.emitter_exponent << "\n";
+    }
+  }
+  out << "\n[COORDINATES]\n;node x y\n";
+  for (const Node& n : network.nodes()) {
+    out << n.name << ' ' << n.x << ' ' << n.y << "\n";
+  }
+  out << "\n[END]\n";
+}
+
+Network from_inp(const std::string& text) {
+  std::istringstream in(text);
+  return read_inp(in);
+}
+
+Network read_inp(std::istream& in) {
+  std::string title = "network";
+  // Two-pass: gather section lines, then build in dependency order
+  // (patterns before junctions, nodes before links, coordinates last).
+  std::map<std::string, std::vector<std::vector<std::string>>> sections;
+  std::vector<std::string> title_lines;
+
+  std::string section;
+  std::string line;
+  while (std::getline(in, line)) {
+    line = strip_comment(line);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.front().front() == '[') {
+      section = tokens.front();
+      continue;
+    }
+    if (section == "[TITLE]") {
+      title_lines.push_back(line);
+      continue;
+    }
+    AQUA_REQUIRE(!section.empty(), "INP: content before any section header");
+    sections[section].push_back(tokens);
+  }
+  if (!title_lines.empty()) {
+    // Preserve the first title line verbatim (minus leading whitespace).
+    const auto& t = title_lines.front();
+    const auto start = t.find_first_not_of(" \t");
+    title = start == std::string::npos ? "network" : t.substr(start);
+  }
+
+  Network network(title);
+
+  for (const auto& row : sections["[PATTERNS]"]) {
+    AQUA_REQUIRE(row.size() >= 2, "INP: pattern needs index and at least one multiplier");
+    Pattern p;
+    p.name = row[0];
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      p.multipliers.push_back(parse_double(row[i], "[PATTERNS]"));
+    }
+    network.add_pattern(std::move(p));
+  }
+  for (const auto& row : sections["[JUNCTIONS]"]) {
+    AQUA_REQUIRE(row.size() == 4, "INP: junction row needs 4 fields");
+    network.add_junction(row[0], parse_double(row[1], "[JUNCTIONS]"),
+                         parse_double(row[2], "[JUNCTIONS]"),
+                         static_cast<int>(parse_double(row[3], "[JUNCTIONS]")));
+  }
+  for (const auto& row : sections["[RESERVOIRS]"]) {
+    AQUA_REQUIRE(row.size() == 2, "INP: reservoir row needs 2 fields");
+    network.add_reservoir(row[0], parse_double(row[1], "[RESERVOIRS]"));
+  }
+  for (const auto& row : sections["[TANKS]"]) {
+    AQUA_REQUIRE(row.size() == 6, "INP: tank row needs 6 fields");
+    network.add_tank(row[0], parse_double(row[1], "[TANKS]"), parse_double(row[2], "[TANKS]"),
+                     parse_double(row[3], "[TANKS]"), parse_double(row[4], "[TANKS]"),
+                     parse_double(row[5], "[TANKS]"));
+  }
+  for (const auto& row : sections["[PIPES]"]) {
+    AQUA_REQUIRE(row.size() == 7, "INP: pipe row needs 7 fields");
+    const LinkId id = network.add_pipe(row[0], network.node_id(row[1]), network.node_id(row[2]),
+                                       parse_double(row[3], "[PIPES]"),
+                                       parse_double(row[4], "[PIPES]"),
+                                       parse_double(row[5], "[PIPES]"));
+    network.link(id).status = (row[6] == "CLOSED") ? LinkStatus::kClosed : LinkStatus::kOpen;
+  }
+  for (const auto& row : sections["[PUMPS]"]) {
+    AQUA_REQUIRE(row.size() == 6, "INP: pump row needs 6 fields");
+    PumpCurve curve{parse_double(row[3], "[PUMPS]"), parse_double(row[4], "[PUMPS]"),
+                    parse_double(row[5], "[PUMPS]")};
+    network.add_pump(row[0], network.node_id(row[1]), network.node_id(row[2]), curve);
+  }
+  for (const auto& row : sections["[VALVES]"]) {
+    AQUA_REQUIRE(row.size() == 5, "INP: valve row needs 5 fields");
+    network.add_valve(row[0], network.node_id(row[1]), network.node_id(row[2]),
+                      parse_double(row[3], "[VALVES]"), parse_double(row[4], "[VALVES]"));
+  }
+  for (const auto& row : sections["[EMITTERS]"]) {
+    AQUA_REQUIRE(row.size() == 3, "INP: emitter row needs 3 fields");
+    network.set_emitter(network.node_id(row[0]), parse_double(row[1], "[EMITTERS]"),
+                        parse_double(row[2], "[EMITTERS]"));
+  }
+  for (const auto& row : sections["[COORDINATES]"]) {
+    AQUA_REQUIRE(row.size() == 3, "INP: coordinate row needs 3 fields");
+    Node& node = network.node(network.node_id(row[0]));
+    node.x = parse_double(row[1], "[COORDINATES]");
+    node.y = parse_double(row[2], "[COORDINATES]");
+  }
+  return network;
+}
+
+}  // namespace aqua::hydraulics

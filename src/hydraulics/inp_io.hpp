@@ -1,0 +1,25 @@
+// EPANET-INP-style text serialization of networks. The dialect covers the
+// subset of EPANET's format this library models (junctions, reservoirs,
+// tanks, pipes, pumps as power-law curves, throttle valves, patterns,
+// emitters, coordinates) so networks can be exported for inspection and
+// round-tripped in tests. Units in the file match the library (SI; demands
+// are written in L/s as EPANET's LPS flow-unit convention).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hydraulics/network.hpp"
+
+namespace aqua::hydraulics {
+
+/// Renders the network in the INP dialect.
+std::string to_inp(const Network& network);
+void write_inp(const Network& network, std::ostream& out);
+
+/// Parses a network from the INP dialect; throws InvalidArgument on
+/// malformed input (unknown section, bad arity, unknown node reference).
+Network from_inp(const std::string& text);
+Network read_inp(std::istream& in);
+
+}  // namespace aqua::hydraulics

@@ -1,0 +1,142 @@
+#include "hydraulics/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua::hydraulics {
+
+SimulationResults::SimulationResults(std::size_t num_steps, std::size_t num_nodes,
+                                     std::size_t num_links)
+    : times_(num_steps, 0.0),
+      num_nodes_(num_nodes),
+      num_links_(num_links),
+      heads_(num_steps * num_nodes, 0.0),
+      pressures_(num_steps * num_nodes, 0.0),
+      flows_(num_steps * num_links, 0.0),
+      emitter_(num_steps * num_nodes, 0.0) {}
+
+std::size_t SimulationResults::step_at(double time_s) const {
+  AQUA_REQUIRE(!times_.empty(), "no recorded steps");
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time_s);
+  if (it == times_.begin()) return 0;
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+double SimulationResults::leaked_volume() const noexcept {
+  if (times_.size() < 2) return 0.0;
+  double volume = 0.0;
+  for (std::size_t s = 0; s + 1 < times_.size(); ++s) {
+    double rate_now = 0.0, rate_next = 0.0;
+    for (std::size_t v = 0; v < num_nodes_; ++v) {
+      rate_now += emitter_[s * num_nodes_ + v];
+      rate_next += emitter_[(s + 1) * num_nodes_ + v];
+    }
+    volume += 0.5 * (rate_now + rate_next) * (times_[s + 1] - times_[s]);
+  }
+  return volume;
+}
+
+void SimulationResults::record(std::size_t step, double time_s, const HydraulicState& state) {
+  times_[step] = time_s;
+  std::copy(state.head.begin(), state.head.end(), heads_.begin() + step * num_nodes_);
+  std::copy(state.pressure.begin(), state.pressure.end(),
+            pressures_.begin() + step * num_nodes_);
+  std::copy(state.flow.begin(), state.flow.end(), flows_.begin() + step * num_links_);
+  std::copy(state.emitter_outflow.begin(), state.emitter_outflow.end(),
+            emitter_.begin() + step * num_nodes_);
+}
+
+Simulation::Simulation(Network network, SimulationOptions options)
+    : network_(std::move(network)), options_(options) {
+  AQUA_REQUIRE(options_.duration_s > 0.0, "duration must be positive");
+  AQUA_REQUIRE(options_.hydraulic_step_s > 0.0, "hydraulic step must be positive");
+  AQUA_REQUIRE(options_.pattern_step_s > 0.0, "pattern step must be positive");
+  network_.validate();
+  network_.clear_emitters();
+}
+
+void Simulation::schedule_leak(const LeakEvent& event) {
+  const Node& node = network_.node(event.node);
+  AQUA_REQUIRE(node.type == NodeType::kJunction, "leaks occur at junctions");
+  AQUA_REQUIRE(event.coefficient > 0.0, "leak coefficient must be positive");
+  AQUA_REQUIRE(event.start_time_s >= 0.0, "leak start time must be non-negative");
+  events_.push_back(event);
+}
+
+void Simulation::schedule_leaks(const std::vector<LeakEvent>& events) {
+  for (const auto& e : events) schedule_leak(e);
+}
+
+std::size_t Simulation::num_steps() const noexcept {
+  return static_cast<std::size_t>(options_.duration_s / options_.hydraulic_step_s) + 1;
+}
+
+SimulationResults Simulation::run() {
+  network_.clear_emitters();
+  const std::size_t n = network_.num_nodes();
+  const std::size_t steps = num_steps();
+
+  GgaSolver solver(network_, options_.solver);
+  SimulationResults results(steps, n, network_.num_links());
+  results.step_s_ = options_.hydraulic_step_s;
+
+  // Tank state: level above tank elevation, starting from init_level.
+  std::vector<double> tank_level(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (network_.node(v).type == NodeType::kTank) tank_level[v] = network_.node(v).init_level;
+  }
+
+  std::vector<double> demands(n, 0.0), fixed(n, 0.0);
+  HydraulicState previous;
+  bool have_previous = false;
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double t = static_cast<double>(step) * options_.hydraulic_step_s;
+
+    // Activate scheduled leaks whose start time has arrived; emitters stay
+    // active for the rest of the run (a broken pipe does not heal itself).
+    for (const LeakEvent& event : events_) {
+      if (event.start_time_s <= t &&
+          network_.node(event.node).emitter_coefficient < event.coefficient) {
+        network_.set_emitter(event.node, event.coefficient, event.exponent);
+      }
+    }
+
+    const auto period = static_cast<std::size_t>(t / options_.pattern_step_s);
+    for (NodeId v = 0; v < n; ++v) {
+      const Node& node = network_.node(v);
+      demands[v] = network_.demand_at(v, period);
+      if (node.type == NodeType::kReservoir) fixed[v] = node.elevation;
+      if (node.type == NodeType::kTank) fixed[v] = node.elevation + tank_level[v];
+    }
+
+    const HydraulicState state =
+        solver.solve(demands, fixed, have_previous ? &previous : nullptr);
+    results.record(step, t, state);
+
+    // Integrate tank levels over the step (explicit Euler, clamped).
+    if (step + 1 < steps) {
+      for (NodeId v = 0; v < n; ++v) {
+        const Node& node = network_.node(v);
+        if (node.type != NodeType::kTank) continue;
+        double net_inflow = 0.0;
+        for (LinkId l = 0; l < network_.num_links(); ++l) {
+          const Link& link = network_.link(l);
+          if (link.to == v) net_inflow += state.flow[l];
+          if (link.from == v) net_inflow -= state.flow[l];
+        }
+        const double area = 0.25 * 3.141592653589793 * node.diameter * node.diameter;
+        tank_level[v] += net_inflow * options_.hydraulic_step_s / area;
+        tank_level[v] = std::clamp(tank_level[v], node.min_level, node.max_level);
+      }
+    }
+
+    previous = state;
+    have_previous = true;
+  }
+  return results;
+}
+
+}  // namespace aqua::hydraulics

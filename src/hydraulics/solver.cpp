@@ -1,0 +1,278 @@
+#include "hydraulics/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/solvers.hpp"
+
+namespace aqua::hydraulics {
+namespace {
+
+/// CSR value-array index of entry (row, col); entries are column-sorted.
+std::size_t csr_slot(const linalg::CsrMatrix& m, std::size_t row, std::size_t col) {
+  const auto rp = m.row_pointers();
+  const auto ci = m.column_indices();
+  const auto begin = ci.begin() + static_cast<std::ptrdiff_t>(rp[row]);
+  const auto end = ci.begin() + static_cast<std::ptrdiff_t>(rp[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  AQUA_REQUIRE(it != end && *it == col, "internal: missing CSR slot");
+  return static_cast<std::size_t>(it - ci.begin());
+}
+
+/// Initial flow guess: pipes at 0.5 m/s design velocity, pumps at half of
+/// their zero-head flow, valves at a nominal trickle.
+double initial_flow(const Link& link) {
+  switch (link.type) {
+    case LinkType::kPipe:
+    case LinkType::kValve: {
+      const double area = 0.25 * 3.141592653589793 * link.diameter * link.diameter;
+      return 0.5 * area;
+    }
+    case LinkType::kPump: {
+      if (link.pump.coefficient <= 0.0) return 0.01;
+      const double q_max =
+          std::pow(link.pump.shutoff_head / link.pump.coefficient, 1.0 / link.pump.exponent);
+      return 0.5 * q_max;
+    }
+  }
+  return 0.01;
+}
+
+}  // namespace
+
+double HydraulicState::total_emitter_outflow() const noexcept {
+  double sum = 0.0;
+  for (double q : emitter_outflow) sum += q;
+  return sum;
+}
+
+GgaSolver::GgaSolver(const Network& network, SolverOptions options)
+    : network_(network), options_(options) {
+  network_.validate();
+  assembly_ = build_assembly();
+}
+
+GgaSolver::Assembly GgaSolver::build_assembly() const {
+  Assembly assembly;
+  const std::size_t n = network_.num_nodes();
+  assembly.row_of_node.assign(n, kFixed);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!network_.node(v).has_fixed_head()) {
+      assembly.row_of_node[v] = assembly.node_of_row.size();
+      assembly.node_of_row.push_back(v);
+    }
+  }
+  const std::size_t rows = assembly.node_of_row.size();
+  AQUA_REQUIRE(rows > 0, "network has no junctions to solve for");
+
+  linalg::CooBuilder builder(rows);
+  for (std::size_t r = 0; r < rows; ++r) builder.add(r, r, 0.0);
+  for (const Link& link : network_.links()) {
+    const std::size_t rf = assembly.row_of_node[link.from];
+    const std::size_t rt = assembly.row_of_node[link.to];
+    if (rf != kFixed && rt != kFixed) {
+      builder.add(rf, rt, 0.0);
+      builder.add(rt, rf, 0.0);
+    }
+  }
+  assembly.pattern = builder.build();
+
+  assembly.diag_slot.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) assembly.diag_slot[r] = csr_slot(assembly.pattern, r, r);
+
+  assembly.link_slots.resize(network_.num_links());
+  for (LinkId l = 0; l < network_.num_links(); ++l) {
+    const Link& link = network_.link(l);
+    const std::size_t rf = assembly.row_of_node[link.from];
+    const std::size_t rt = assembly.row_of_node[link.to];
+    auto& slots = assembly.link_slots[l];
+    slots = {kNoSlot, kNoSlot, kNoSlot, kNoSlot};
+    if (rf != kFixed) slots[0] = assembly.diag_slot[rf];
+    if (rt != kFixed) slots[1] = assembly.diag_slot[rt];
+    if (rf != kFixed && rt != kFixed) {
+      slots[2] = csr_slot(assembly.pattern, rf, rt);
+      slots[3] = csr_slot(assembly.pattern, rt, rf);
+    }
+  }
+  return assembly;
+}
+
+HydraulicState GgaSolver::solve(const std::vector<double>& demands,
+                                const std::vector<double>& fixed_heads,
+                                const HydraulicState* warm_start) const {
+  const std::size_t n = network_.num_nodes();
+  const std::size_t m = network_.num_links();
+  AQUA_REQUIRE(demands.size() == n, "demands must be per-node");
+  AQUA_REQUIRE(fixed_heads.size() == n, "fixed_heads must be per-node");
+
+  HydraulicState state;
+  state.head.assign(n, 0.0);
+  state.flow.assign(m, 0.0);
+  state.emitter_outflow.assign(n, 0.0);
+
+  // Initial heads: fixed nodes exact; junctions at the max source head
+  // (a feasible starting point for pressurized operation).
+  double max_fixed = 0.0;
+  bool any_fixed = false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (network_.node(v).has_fixed_head()) {
+      max_fixed = any_fixed ? std::max(max_fixed, fixed_heads[v]) : fixed_heads[v];
+      any_fixed = true;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    state.head[v] = network_.node(v).has_fixed_head() ? fixed_heads[v] : max_fixed;
+  }
+  for (LinkId l = 0; l < m; ++l) state.flow[l] = initial_flow(network_.link(l));
+
+  if (warm_start != nullptr && warm_start->head.size() == n && warm_start->flow.size() == m) {
+    state.head = warm_start->head;
+    state.flow = warm_start->flow;
+    for (NodeId v = 0; v < n; ++v) {
+      if (network_.node(v).has_fixed_head()) state.head[v] = fixed_heads[v];
+    }
+  }
+
+  const std::size_t rows = assembly_.node_of_row.size();
+  linalg::CsrMatrix matrix = assembly_.pattern;  // copy pattern; values refilled below
+  std::vector<double> rhs(rows, 0.0);
+  std::vector<double> prev_solution(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) prev_solution[r] = state.head[assembly_.node_of_row[r]];
+
+  std::vector<double> y(m, 0.0), p(m, 0.0);
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    state.iterations = iter;
+    matrix.zero_values();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    auto values = matrix.values();
+
+    // Link stamps.
+    for (LinkId l = 0; l < m; ++l) {
+      const Link& link = network_.link(l);
+      const LossGradient lg = link_loss(link, state.flow[l], options_.headloss);
+      p[l] = 1.0 / lg.gradient;
+      y[l] = state.flow[l] - lg.loss / lg.gradient;
+      const auto& slots = assembly_.link_slots[l];
+      const std::size_t rf = assembly_.row_of_node[link.from];
+      const std::size_t rt = assembly_.row_of_node[link.to];
+      if (rf != kFixed) {
+        values[slots[0]] += p[l];
+        // Row of `from`: s = -1 => RHS gets -y; fixed `to` head moves over.
+        rhs[rf] -= y[l];
+        if (rt == kFixed) rhs[rf] += p[l] * fixed_heads[link.to];
+      }
+      if (rt != kFixed) {
+        values[slots[1]] += p[l];
+        rhs[rt] += y[l];
+        if (rf == kFixed) rhs[rt] += p[l] * fixed_heads[link.from];
+      }
+      if (rf != kFixed && rt != kFixed) {
+        values[slots[2]] -= p[l];
+        values[slots[3]] -= p[l];
+      }
+    }
+
+    // Demand and emitter stamps.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const NodeId v = assembly_.node_of_row[r];
+      rhs[r] -= demands[v];
+      const Node& node = network_.node(v);
+      if (node.emitter_coefficient > 0.0) {
+        const double pressure = state.head[v] - node.elevation;
+        const EmitterFlow ef =
+            emitter_flow(node.emitter_coefficient, node.emitter_exponent, pressure);
+        values[assembly_.diag_slot[r]] += ef.gradient;
+        rhs[r] += -ef.flow + ef.gradient * state.head[v];
+      }
+    }
+
+    const auto cg = linalg::conjugate_gradient(matrix, rhs, prev_solution);
+    if (!cg.converged) {
+      if (options_.throw_on_divergence) {
+        throw SolverError("GGA: inner CG solve failed to converge (relative residual " +
+                          std::to_string(cg.relative_residual) + ")");
+      }
+      return state;
+    }
+    // Past a grace period the iteration is under-relaxed on BOTH heads and
+    // flows: networks near hydraulic limits (large concurrent leaks)
+    // otherwise fall into a period-2 limit cycle because the emitter and
+    // head-loss linearizations keep leapfrogging the solution.
+    const double relaxation =
+        iter <= 8 ? 1.0 : (iter <= 20 ? 0.5 : (iter <= 60 ? 0.25 : 0.1));
+    for (std::size_t r = 0; r < rows; ++r) {
+      const NodeId v = assembly_.node_of_row[r];
+      state.head[v] += relaxation * (cg.x[r] - state.head[v]);
+      prev_solution[r] = state.head[v];
+    }
+
+    double flow_change = 0.0;
+    double flow_total = 0.0;
+    for (LinkId l = 0; l < m; ++l) {
+      const Link& link = network_.link(l);
+      const double candidate = y[l] + p[l] * (state.head[link.from] - state.head[link.to]);
+      const double new_flow = state.flow[l] + relaxation * (candidate - state.flow[l]);
+      flow_change += std::abs(new_flow - state.flow[l]);
+      flow_total += std::abs(new_flow);
+      state.flow[l] = new_flow;
+    }
+    if (options_.trace) {
+      double max_change = 0.0;
+      LinkId worst = 0;
+      for (LinkId l = 0; l < m; ++l) {
+        const double c = std::abs(y[l] + p[l] * (state.head[network_.link(l).from] -
+                                                 state.head[network_.link(l).to]) -
+                                  state.flow[l]);
+        if (c > max_change) {
+          max_change = c;
+          worst = l;
+        }
+      }
+      const Link& wl = network_.link(worst);
+      std::fprintf(stderr,
+                   "gga iter %zu: ratio=%.3e worst=%s dq=%.4g q=%.4g h_from=%.2f h_to=%.2f\n",
+                   iter, flow_total > 0 ? flow_change / flow_total : -1.0, wl.name.c_str(),
+                   max_change, state.flow[worst], state.head[wl.from], state.head[wl.to]);
+    }
+    // Relative flow-change criterion with an absolute floor so all-zero
+    // demand snapshots (flow_total ~ 0) converge instead of dividing by 0.
+    if (flow_change < options_.accuracy * std::max(flow_total, 1e-6)) {
+      state.converged = true;
+      break;
+    }
+  }
+
+  if (!state.converged && options_.throw_on_divergence) {
+    throw SolverError("GGA failed to converge in " + std::to_string(options_.max_iterations) +
+                      " iterations on network '" + network_.name() + "'");
+  }
+
+  state.pressure.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const Node& node = network_.node(v);
+    state.pressure[v] = node.has_fixed_head() ? 0.0 : state.head[v] - node.elevation;
+    if (node.emitter_coefficient > 0.0) {
+      state.emitter_outflow[v] =
+          emitter_flow(node.emitter_coefficient, node.emitter_exponent,
+                       state.head[v] - node.elevation)
+              .flow;
+    }
+  }
+  return state;
+}
+
+HydraulicState GgaSolver::solve_snapshot() const {
+  const std::size_t n = network_.num_nodes();
+  std::vector<double> demands(n, 0.0), fixed(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const Node& node = network_.node(v);
+    demands[v] = network_.demand_at(v, 0);
+    if (node.type == NodeType::kReservoir) fixed[v] = node.elevation;
+    if (node.type == NodeType::kTank) fixed[v] = node.elevation + node.init_level;
+  }
+  return solve(demands, fixed);
+}
+
+}  // namespace aqua::hydraulics

@@ -1,0 +1,90 @@
+// Steady-state hydraulic solver: the Todini-Pilati Global Gradient
+// Algorithm (GGA), the same method EPANET 2 uses. Each call solves one
+// demand-driven snapshot: given junction demands and fixed heads at
+// reservoirs/tanks, it computes nodal heads and link flows satisfying
+// continuity and the head-loss relations, including pressure-dependent
+// emitter (leak) outflows from Eq. 1 of the paper.
+//
+// The node sparsity pattern is assembled once per solver instance and
+// refilled every Newton iteration, so repeated solves over the same
+// network (extended-period simulation, scenario batches) are cheap.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "hydraulics/headloss.hpp"
+#include "hydraulics/network.hpp"
+#include "linalg/sparse.hpp"
+
+namespace aqua::hydraulics {
+
+struct SolverOptions {
+  HeadLossModel headloss = HeadLossModel::kHazenWilliams;
+  std::size_t max_iterations = 200;
+  /// Convergence: sum of |flow change| over sum of |flow| (EPANET ACCURACY).
+  double accuracy = 1e-4;
+  /// Throw SolverError on non-convergence instead of returning best effort.
+  bool throw_on_divergence = true;
+  /// Print per-iteration convergence diagnostics to stderr.
+  bool trace = false;
+};
+
+/// One hydraulic snapshot.
+struct HydraulicState {
+  std::vector<double> head;             // per node [m]
+  std::vector<double> pressure;         // head - elevation [m] (0 at reservoirs)
+  std::vector<double> flow;             // per link, signed from->to [m^3/s]
+  std::vector<double> emitter_outflow;  // per node [m^3/s]
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  double total_emitter_outflow() const noexcept;
+};
+
+/// Reusable GGA solver bound to one network topology. The network's
+/// *structure* (nodes/links) must not change between solves; attribute
+/// changes (emitter coefficients, status via options below) are fine
+/// because values are re-evaluated each call.
+class GgaSolver {
+ public:
+  explicit GgaSolver(const Network& network, SolverOptions options = {});
+
+  /// Solves a snapshot. `demands` is per-node (junction entries used)
+  /// [m^3/s]; `fixed_heads` is per-node and consulted only for
+  /// reservoir/tank nodes [m]. `warm_start` (optional) seeds heads and
+  /// flows from a previous solution.
+  HydraulicState solve(const std::vector<double>& demands, const std::vector<double>& fixed_heads,
+                       const HydraulicState* warm_start = nullptr) const;
+
+  /// Convenience: demands from base demands at pattern period 0 and fixed
+  /// heads from node data (tank head = elevation + init level).
+  HydraulicState solve_snapshot() const;
+
+  const Network& network() const noexcept { return network_; }
+  const SolverOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Assembly {
+    std::vector<std::size_t> row_of_node;  // kFixed for fixed-head nodes
+    std::vector<NodeId> node_of_row;
+    linalg::CsrMatrix pattern;              // SPD pattern with zero values
+    // Per link: value-array slots for the four stamp positions
+    // (from,from), (to,to), (from,to), (to,from); kNoSlot where the
+    // endpoint is fixed-head.
+    std::vector<std::array<std::size_t, 4>> link_slots;
+    std::vector<std::size_t> diag_slot;  // per row
+  };
+
+  static constexpr std::size_t kFixed = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  Assembly build_assembly() const;
+
+  const Network& network_;
+  SolverOptions options_;
+  Assembly assembly_;
+};
+
+}  // namespace aqua::hydraulics

@@ -1,0 +1,75 @@
+// Dense linear algebra: a row-major matrix plus the handful of vector and
+// matrix operations the ML substrate needs (normal equations, IRLS,
+// standardization). Dimensions here are small (features x features), so a
+// straightforward cache-friendly implementation is appropriate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aqua::linalg {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  /// View of row r.
+  std::span<double> row(std::size_t r) noexcept { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  const std::vector<double>& data() const noexcept { return data_; }
+  std::vector<double>& data() noexcept { return data_; }
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x (rows(A) == y.size(), cols(A) == x.size()).
+Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// y = A^T x.
+Vector matvec_transpose(const Matrix& a, std::span<const double> x);
+
+/// C = A^T A (Gram matrix), the core of ridge normal equations.
+Matrix gram(const Matrix& a);
+
+/// C = A B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Dot product; spans must have equal length.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// x += alpha * y.
+void axpy(double alpha, std::span<const double> y, std::span<double> x);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+/// In-place Cholesky factorization A = L L^T of an SPD matrix; returns the
+/// lower factor. Throws SolverError if A is not (numerically) SPD.
+Matrix cholesky(Matrix a);
+
+/// Solves A x = b given the lower Cholesky factor L.
+Vector cholesky_solve(const Matrix& lower, std::span<const double> b);
+
+/// Convenience: solve SPD system A x = b (factors internally).
+Vector solve_spd(Matrix a, std::span<const double> b);
+
+}  // namespace aqua::linalg

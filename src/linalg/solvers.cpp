@@ -1,0 +1,67 @@
+#include "linalg/solvers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/dense.hpp"
+
+namespace aqua::linalg {
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<const double> x0, const CgOptions& options) {
+  const std::size_t n = a.rows();
+  AQUA_REQUIRE(b.size() == n, "conjugate_gradient dimension mismatch");
+  AQUA_REQUIRE(x0.empty() || x0.size() == n, "warm-start size mismatch");
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  if (!x0.empty()) result.x.assign(x0.begin(), x0.end());
+
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    result.x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  // Jacobi preconditioner M = diag(A).
+  std::vector<double> inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  std::vector<double> r = a.multiply(result.x);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  std::vector<double> z(n), p(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double rnorm = norm2(r);
+    result.relative_residual = rnorm / bnorm;
+    if (result.relative_residual < options.tolerance) {
+      result.iterations = it;
+      result.converged = true;
+      return result;
+    }
+    const std::vector<double> ap = a.multiply(p);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0 || !std::isfinite(pap)) {
+      throw SolverError("conjugate_gradient: matrix is not positive definite");
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.iterations = options.max_iterations;
+  result.relative_residual = norm2(r) / bnorm;
+  result.converged = result.relative_residual < options.tolerance;
+  return result;
+}
+
+}  // namespace aqua::linalg

@@ -1,0 +1,31 @@
+// Iterative solvers for the sparse SPD systems assembled by the hydraulic
+// Global Gradient Algorithm.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace aqua::linalg {
+
+struct CgOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;  // relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Jacobi-preconditioned conjugate gradients for SPD `a`.
+/// `x0` (optional) warm-starts the iteration — the hydraulic solver reuses
+/// the previous Newton iterate, which typically halves iteration counts.
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<const double> x0 = {}, const CgOptions& options = {});
+
+}  // namespace aqua::linalg

@@ -1,0 +1,43 @@
+#include "ml/binning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua::ml {
+
+void FeatureBinning::fit(const linalg::Matrix& x, std::size_t max_bins) {
+  AQUA_REQUIRE(x.rows() > 0, "cannot bin an empty matrix");
+  AQUA_REQUIRE(max_bins >= 2 && max_bins <= kMaxBins, "max_bins out of range");
+  const std::size_t n = x.rows(), d = x.cols();
+  cuts_.assign(d, {});
+  codes_.assign(n * d, 0);
+
+  std::vector<double> column(n);
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t r = 0; r < n; ++r) column[r] = x(r, f);
+    std::sort(column.begin(), column.end());
+
+    // Quantile cut points; duplicates collapse so constant features end up
+    // with a single bin.
+    auto& cuts = cuts_[f];
+    for (std::size_t b = 1; b < max_bins; ++b) {
+      const std::size_t idx = b * (n - 1) / max_bins;
+      const double cut = column[idx];
+      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+    }
+    // Drop a trailing cut equal to the maximum (it would create an empty
+    // top bin).
+    while (!cuts.empty() && cuts.back() >= column.back()) cuts.pop_back();
+
+    for (std::size_t r = 0; r < n; ++r) {
+      const double v = x(r, f);
+      const auto it = std::lower_bound(cuts.begin(), cuts.end(), v);
+      // v <= cuts[k] -> bin k; v > all cuts -> last bin.
+      codes_[r * d + f] = static_cast<std::uint8_t>(it - cuts.begin());
+    }
+  }
+}
+
+}  // namespace aqua::ml

@@ -1,0 +1,50 @@
+// The plug-and-play classifier abstraction. AquaSCALE's analytics engine
+// "enables the selection/integration of statistical techniques" — any
+// BinaryClassifier can be slotted into the per-node profile model, and the
+// implementations mirror the paper's lineup: LinearR, LogisticR, GB, RF,
+// SVM and the proposed HybridRSL stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace aqua::ml {
+
+/// A probabilistic binary classifier (scikit-learn's fit / predict /
+/// predict_proba contract, which Algorithms 1-2 are written against).
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on (X, y). Implementations must tolerate single-class targets
+  /// (a node that never leaks in the training set) by degenerating to the
+  /// constant predictor.
+  virtual void fit(const Matrix& x, const Labels& y) = 0;
+
+  /// P(y = 1 | x) in [0, 1]. Must only be called after fit().
+  virtual double predict_proba(std::span<const double> x) const = 0;
+
+  /// Hard decision: S-membership per the paper is p(1) > p(0).
+  bool predict(std::span<const double> x) const { return predict_proba(x) > 0.5; }
+
+  /// A fresh, untrained classifier with the same hyper-parameters (used to
+  /// instantiate one copy per node label).
+  virtual std::unique_ptr<BinaryClassifier> clone_config() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Balanced per-class sample weights: w_pos * n_pos == w_neg * n_neg, mean
+/// weight 1. Leak labels are heavily imbalanced (a given node leaks in only
+/// a few percent of scenarios), so every classifier trains with these.
+std::pair<double, double> balanced_class_weights(const Labels& y);  // {w_neg, w_pos}
+
+/// Fraction of positive labels.
+double positive_rate(const Labels& y);
+
+}  // namespace aqua::ml

@@ -1,0 +1,332 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace aqua::ml {
+
+struct RegressionTree::BuildContext {
+  const linalg::Matrix& x;
+  std::span<const double> targets;
+  std::span<const double> weights;   // may be empty
+  std::span<const double> hessians;  // may be empty
+  std::size_t max_features;
+
+  double weight(std::size_t i) const { return weights.empty() ? 1.0 : weights[i]; }
+  double hessian(std::size_t i) const { return hessians.empty() ? 1.0 : hessians[i]; }
+};
+
+void RegressionTree::fit(const linalg::Matrix& x, std::span<const double> targets,
+                         std::span<const double> weights,
+                         std::span<const std::size_t> sample_indices,
+                         std::span<const double> hessians) {
+  AQUA_REQUIRE(targets.size() == x.rows(), "target/feature row mismatch");
+  AQUA_REQUIRE(weights.empty() || weights.size() == x.rows(), "weight row mismatch");
+  AQUA_REQUIRE(hessians.empty() || hessians.size() == x.rows(), "hessian row mismatch");
+
+  std::vector<std::size_t> indices;
+  if (sample_indices.empty()) {
+    indices.resize(x.rows());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+  } else {
+    indices.assign(sample_indices.begin(), sample_indices.end());
+  }
+  AQUA_REQUIRE(!indices.empty(), "cannot fit a tree on zero samples");
+
+  nodes_.clear();
+  BuildContext ctx{x, targets, weights, hessians,
+                   config_.max_features == 0 ? x.cols()
+                                             : std::min(config_.max_features, x.cols())};
+  Rng rng(config_.seed);
+  build(ctx, indices, 0, indices.size(), 0, rng);
+}
+
+int RegressionTree::build(BuildContext& ctx, std::vector<std::size_t>& indices, std::size_t begin,
+                          std::size_t end, std::size_t depth, Rng& rng) {
+  const std::size_t count = end - begin;
+
+  double sum_wt = 0.0, sum_wy = 0.0, sum_wh = 0.0, sum_wyy = 0.0;
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t i = indices[k];
+    const double w = ctx.weight(i);
+    sum_wt += w;
+    sum_wy += w * ctx.targets[i];
+    sum_wyy += w * ctx.targets[i] * ctx.targets[i];
+    sum_wh += w * ctx.hessian(i);
+  }
+
+  Node node;
+  node.value = ctx.hessians.empty() ? (sum_wt > 0.0 ? sum_wy / sum_wt : 0.0)
+                                    : sum_wy / std::max(sum_wh, 1e-12);
+
+  const double node_sse = sum_wyy - (sum_wt > 0.0 ? sum_wy * sum_wy / sum_wt : 0.0);
+  const bool can_split = depth < config_.max_depth && count >= config_.min_samples_split &&
+                         node_sse > 1e-12;
+  if (!can_split) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Candidate features (random subset when max_features < d).
+  std::vector<std::size_t> features;
+  if (ctx.max_features >= ctx.x.cols()) {
+    features.resize(ctx.x.cols());
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    features = rng.sample_without_replacement(ctx.x.cols(), ctx.max_features);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(count);
+  for (const std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t k = begin; k < end; ++k) {
+      sorted.emplace_back(ctx.x(indices[k], f), indices[k]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant feature
+
+    double left_wt = 0.0, left_wy = 0.0, left_wyy = 0.0;
+    std::size_t left_n = 0;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const std::size_t i = sorted[k].second;
+      const double w = ctx.weight(i);
+      left_wt += w;
+      left_wy += w * ctx.targets[i];
+      left_wyy += w * ctx.targets[i] * ctx.targets[i];
+      ++left_n;
+      if (sorted[k].first == sorted[k + 1].first) continue;  // can't split inside ties
+      const std::size_t right_n = count - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) continue;
+      const double right_wt = sum_wt - left_wt;
+      if (left_wt <= 0.0 || right_wt <= 0.0) continue;
+      const double right_wy = sum_wy - left_wy;
+      const double right_wyy = sum_wyy - left_wyy;
+      const double left_sse = left_wyy - left_wy * left_wy / left_wt;
+      const double right_sse = right_wyy - right_wy * right_wy / right_wt;
+      const double gain = node_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[k].first + sorted[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Partition indices[begin, end) in place around the split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+        return ctx.x(i, static_cast<std::size_t>(best_feature)) <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {  // numerical edge: degenerate partition
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const auto self = static_cast<int>(nodes_.size()) - 1;
+  const int left = build(ctx, indices, begin, mid, depth + 1, rng);
+  const int right = build(ctx, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+struct RegressionTree::BinnedContext {
+  const FeatureBinning& binning;
+  std::span<const double> targets;
+  std::span<const double> weights;
+  std::span<const double> hessians;
+  std::size_t max_features;
+
+  double weight(std::size_t i) const { return weights.empty() ? 1.0 : weights[i]; }
+  double hessian(std::size_t i) const { return hessians.empty() ? 1.0 : hessians[i]; }
+};
+
+void RegressionTree::fit_binned(const FeatureBinning& binning, std::span<const double> targets,
+                                std::span<const double> weights,
+                                std::span<const std::size_t> sample_indices,
+                                std::span<const double> hessians) {
+  AQUA_REQUIRE(binning.fitted(), "binning not fitted");
+  AQUA_REQUIRE(targets.size() == binning.num_samples(), "target/binning row mismatch");
+  AQUA_REQUIRE(weights.empty() || weights.size() == targets.size(), "weight row mismatch");
+  AQUA_REQUIRE(hessians.empty() || hessians.size() == targets.size(), "hessian row mismatch");
+
+  std::vector<std::size_t> indices;
+  if (sample_indices.empty()) {
+    indices.resize(targets.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+  } else {
+    indices.assign(sample_indices.begin(), sample_indices.end());
+  }
+  AQUA_REQUIRE(!indices.empty(), "cannot fit a tree on zero samples");
+
+  nodes_.clear();
+  BinnedContext ctx{binning, targets, weights, hessians,
+                    config_.max_features == 0
+                        ? binning.num_features()
+                        : std::min(config_.max_features, binning.num_features())};
+  Rng rng(config_.seed);
+  build_binned(ctx, indices, 0, indices.size(), 0, rng);
+}
+
+int RegressionTree::build_binned(BinnedContext& ctx, std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end, std::size_t depth,
+                                 Rng& rng) {
+  const std::size_t count = end - begin;
+
+  double sum_wt = 0.0, sum_wy = 0.0, sum_wh = 0.0, sum_wyy = 0.0;
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t i = indices[k];
+    const double w = ctx.weight(i);
+    sum_wt += w;
+    sum_wy += w * ctx.targets[i];
+    sum_wyy += w * ctx.targets[i] * ctx.targets[i];
+    sum_wh += w * ctx.hessian(i);
+  }
+
+  Node node;
+  node.value = ctx.hessians.empty() ? (sum_wt > 0.0 ? sum_wy / sum_wt : 0.0)
+                                    : sum_wy / std::max(sum_wh, 1e-12);
+
+  const double node_sse = sum_wyy - (sum_wt > 0.0 ? sum_wy * sum_wy / sum_wt : 0.0);
+  const bool can_split = depth < config_.max_depth && count >= config_.min_samples_split &&
+                         node_sse > 1e-12;
+  if (!can_split) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  std::vector<std::size_t> features;
+  if (ctx.max_features >= ctx.binning.num_features()) {
+    features.resize(ctx.binning.num_features());
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    features = rng.sample_without_replacement(ctx.binning.num_features(), ctx.max_features);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  std::size_t best_bin = 0;
+
+  // Per-bin accumulators (kMaxBins is small enough for the stack-ish reuse).
+  std::array<double, FeatureBinning::kMaxBins> bin_wt{}, bin_wy{}, bin_wyy{};
+  std::array<std::size_t, FeatureBinning::kMaxBins> bin_count{};
+
+  for (const std::size_t f : features) {
+    const std::size_t bins = ctx.binning.bins(f);
+    if (bins < 2) continue;
+    std::fill_n(bin_wt.begin(), bins, 0.0);
+    std::fill_n(bin_wy.begin(), bins, 0.0);
+    std::fill_n(bin_wyy.begin(), bins, 0.0);
+    std::fill_n(bin_count.begin(), bins, std::size_t{0});
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = indices[k];
+      const std::uint8_t b = ctx.binning.code(i, f);
+      const double w = ctx.weight(i);
+      bin_wt[b] += w;
+      bin_wy[b] += w * ctx.targets[i];
+      bin_wyy[b] += w * ctx.targets[i] * ctx.targets[i];
+      ++bin_count[b];
+    }
+    double left_wt = 0.0, left_wy = 0.0, left_wyy = 0.0;
+    std::size_t left_n = 0;
+    for (std::size_t b = 0; b + 1 < bins; ++b) {
+      left_wt += bin_wt[b];
+      left_wy += bin_wy[b];
+      left_wyy += bin_wyy[b];
+      left_n += bin_count[b];
+      const std::size_t right_n = count - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) continue;
+      const double right_wt = sum_wt - left_wt;
+      if (left_wt <= 0.0 || right_wt <= 0.0) continue;
+      const double right_wy = sum_wy - left_wy;
+      const double right_wyy = sum_wyy - left_wyy;
+      const double left_sse = left_wyy - left_wy * left_wy / left_wt;
+      const double right_sse = right_wyy - right_wy * right_wy / right_wt;
+      const double gain = node_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_bin = b;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  const double threshold =
+      ctx.binning.upper_boundary(static_cast<std::size_t>(best_feature), best_bin);
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+        return ctx.binning.code(i, static_cast<std::size_t>(best_feature)) <= best_bin;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  node.feature = best_feature;
+  node.threshold = threshold;
+  nodes_.push_back(node);
+  const auto self = static_cast<int>(nodes_.size()) - 1;
+  const int left = build_binned(ctx, indices, begin, mid, depth + 1, rng);
+  const int right = build_binned(ctx, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+double RegressionTree::predict(std::span<const double> x) const {
+  AQUA_REQUIRE(fitted(), "predict on unfitted tree");
+  std::size_t current = 0;
+  for (;;) {
+    const Node& node = nodes_[current];
+    if (node.feature < 0) return node.value;
+    const double v = x[static_cast<std::size_t>(node.feature)];
+    current = static_cast<std::size_t>(v <= node.threshold ? node.left : node.right);
+  }
+}
+
+std::size_t RegressionTree::depth() const noexcept {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[idx];
+    if (node.feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(node.left), d + 1});
+      stack.push_back({static_cast<std::size_t>(node.right), d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace aqua::ml

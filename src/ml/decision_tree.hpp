@@ -1,0 +1,77 @@
+// CART regression trees with sample weights — the shared building block of
+// Random Forest (bagged trees on binary targets, whose leaf means are leak
+// probabilities) and Gradient Boosting (shallow trees on pseudo-residuals
+// with Newton leaf values).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+#include "ml/binning.hpp"
+
+namespace aqua::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 10;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// Features considered per split; 0 = all (RF passes ~sqrt(d)).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 17;
+};
+
+/// Weighted least-squares regression tree. On 0/1 targets the weighted
+/// SSE criterion is equivalent to weighted Gini impurity, so the same tree
+/// serves as a probability-outputting classification tree.
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeConfig config = {}) : config_(config) {}
+
+  /// Fits on rows `sample_indices` of x (empty = all rows). `weights` may
+  /// be empty (all 1). `hessians`, when provided, switches leaf values to
+  /// the Newton estimate sum(w*target) / sum(w*hessian) used by gradient
+  /// boosting with logistic loss.
+  void fit(const linalg::Matrix& x, std::span<const double> targets,
+           std::span<const double> weights = {}, std::span<const std::size_t> sample_indices = {},
+           std::span<const double> hessians = {});
+
+  /// Histogram-based fit over pre-binned features (the fast path used by
+  /// the ensembles): split search scans at most 64 quantile bins per
+  /// feature instead of sorting samples. Produces the same tree structure
+  /// semantics as fit(); predict() still takes raw feature vectors.
+  void fit_binned(const FeatureBinning& binning, std::span<const double> targets,
+                  std::span<const double> weights = {},
+                  std::span<const std::size_t> sample_indices = {},
+                  std::span<const double> hessians = {});
+
+  double predict(std::span<const double> x) const;
+
+  bool fitted() const noexcept { return !nodes_.empty(); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept;
+
+ private:
+  struct Node {
+    int feature = -1;         // -1 = leaf
+    double threshold = 0.0;   // go left if x[feature] <= threshold
+    double value = 0.0;       // leaf output
+    int left = -1;
+    int right = -1;
+  };
+
+  struct BuildContext;
+  int build(BuildContext& ctx, std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, std::size_t depth, Rng& rng);
+
+  struct BinnedContext;
+  int build_binned(BinnedContext& ctx, std::vector<std::size_t>& indices, std::size_t begin,
+                   std::size_t end, std::size_t depth, Rng& rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace aqua::ml

@@ -1,0 +1,88 @@
+#include "ml/gradient_boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ml/linear_models.hpp"
+
+namespace aqua::ml {
+
+GradientBoostingClassifier::GradientBoostingClassifier(GradientBoostingConfig config)
+    : config_(config) {
+  AQUA_REQUIRE(config_.num_rounds >= 1, "boosting needs at least one round");
+  AQUA_REQUIRE(config_.learning_rate > 0.0, "learning rate must be positive");
+  AQUA_REQUIRE(config_.subsample > 0.0 && config_.subsample <= 1.0, "subsample must be in (0,1]");
+}
+
+void GradientBoostingClassifier::fit(const Matrix& x, const Labels& y) {
+  AQUA_REQUIRE(x.rows() == y.size(), "feature/label row mismatch");
+  AQUA_REQUIRE(x.rows() > 0, "empty training set");
+
+  const double pos_rate = positive_rate(y);
+  if (pos_rate == 0.0 || pos_rate == 1.0) {
+    constant_ = true;
+    constant_probability_ = pos_rate;
+    trees_.clear();
+    return;
+  }
+  constant_ = false;
+
+  const std::size_t n = x.rows();
+  const auto [w_neg, w_pos] = balanced_class_weights(y);
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = y[i] != 0 ? w_pos : w_neg;
+
+  // With balanced weights the weighted positive rate is 1/2, so the
+  // initial log-odds is 0; keep the general formula for clarity.
+  base_score_ = std::log(pos_rate / (1.0 - pos_rate));
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> residual(n), hessian(n);
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.num_rounds);
+
+  FeatureBinning binning;
+  binning.fit(x);
+
+  const auto subsample_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.subsample * static_cast<double>(n)));
+
+  for (std::size_t round = 0; round < config_.num_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(score[i]);
+      residual[i] = (y[i] != 0 ? 1.0 : 0.0) - p;
+      hessian[i] = std::max(p * (1.0 - p), 1e-6);
+    }
+    std::vector<std::size_t> rows;
+    if (subsample_count < n) {
+      rows = rng.sample_without_replacement(n, subsample_count);
+    }
+    TreeConfig tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.min_samples_split = 2 * config_.min_samples_leaf;
+    tree_config.seed = rng();
+    RegressionTree tree(tree_config);
+    tree.fit_binned(binning, residual, weights, rows, hessian);
+    for (std::size_t i = 0; i < n; ++i) {
+      score[i] += config_.learning_rate * tree.predict(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostingClassifier::predict_proba(std::span<const double> x) const {
+  if (constant_) return constant_probability_;
+  AQUA_REQUIRE(!trees_.empty(), "predict on unfitted model");
+  double score = base_score_;
+  for (const auto& tree : trees_) score += config_.learning_rate * tree.predict(x);
+  return sigmoid(score);
+}
+
+std::unique_ptr<BinaryClassifier> GradientBoostingClassifier::clone_config() const {
+  return std::make_unique<GradientBoostingClassifier>(config_);
+}
+
+}  // namespace aqua::ml

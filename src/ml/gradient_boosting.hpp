@@ -1,0 +1,40 @@
+// Gradient Boosting classifier: shallow regression trees fitted to the
+// pseudo-residuals of the logistic loss, with Newton leaf values
+// (Friedman's GBM as implemented by scikit-learn, the paper's "GB").
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace aqua::ml {
+
+struct GradientBoostingConfig {
+  std::size_t num_rounds = 60;
+  double learning_rate = 0.15;
+  std::size_t max_depth = 3;
+  std::size_t min_samples_leaf = 4;
+  /// Row subsampling per round (stochastic gradient boosting).
+  double subsample = 0.8;
+  std::uint64_t seed = 31;
+};
+
+class GradientBoostingClassifier final : public BinaryClassifier {
+ public:
+  explicit GradientBoostingClassifier(GradientBoostingConfig config = {});
+
+  void fit(const Matrix& x, const Labels& y) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<BinaryClassifier> clone_config() const override;
+  std::string name() const override { return "GB"; }
+
+  std::size_t num_rounds_fitted() const noexcept { return trees_.size(); }
+
+ private:
+  GradientBoostingConfig config_;
+  std::vector<RegressionTree> trees_;
+  double base_score_ = 0.0;  // initial log-odds
+  bool constant_ = false;
+  double constant_probability_ = 0.0;
+};
+
+}  // namespace aqua::ml

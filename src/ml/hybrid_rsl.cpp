@@ -1,0 +1,43 @@
+#include "ml/hybrid_rsl.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua::ml {
+
+HybridRslClassifier::HybridRslClassifier(HybridRslConfig config)
+    : config_(config), forest_(config.forest), svm_(config.svm), meta_(config.meta) {}
+
+void HybridRslClassifier::fit(const Matrix& x, const Labels& y) {
+  AQUA_REQUIRE(x.rows() == y.size(), "feature/label row mismatch");
+
+  const double pos_rate = positive_rate(y);
+  if (pos_rate == 0.0 || pos_rate == 1.0) {
+    constant_ = true;
+    constant_probability_ = pos_rate;
+    return;
+  }
+  constant_ = false;
+
+  forest_.fit(x, y);
+  svm_.fit(x, y);
+
+  // Stack the base learners' probabilities as the meta feature set.
+  Matrix meta_features(x.rows(), 2);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    meta_features(i, 0) = forest_.predict_proba(x.row(i));
+    meta_features(i, 1) = svm_.predict_proba(x.row(i));
+  }
+  meta_.fit(meta_features, y);
+}
+
+double HybridRslClassifier::predict_proba(std::span<const double> x) const {
+  if (constant_) return constant_probability_;
+  const double meta_input[2] = {forest_.predict_proba(x), svm_.predict_proba(x)};
+  return meta_.predict_proba(std::span<const double>(meta_input, 2));
+}
+
+std::unique_ptr<BinaryClassifier> HybridRslClassifier::clone_config() const {
+  return std::make_unique<HybridRslClassifier>(config_);
+}
+
+}  // namespace aqua::ml

@@ -1,0 +1,42 @@
+// HybridRSL — the paper's proposed technique (Sec. IV-A, Fig. 4): "a
+// combination of RF and SVM via LogisticR ... the same dataset is trained
+// and predicted by RF and SVM separately, and their predicted results,
+// i.e. leak probabilities for each node, are then aggregated as a new
+// feature set and input into LogisticR for further learning."
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/linear_models.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svm.hpp"
+
+namespace aqua::ml {
+
+struct HybridRslConfig {
+  RandomForestConfig forest;
+  SvmConfig svm;
+  SgdConfig meta{.epochs = 60, .batch_size = 64, .learning_rate = 0.05, .l2 = 1e-4, .seed = 43};
+};
+
+class HybridRslClassifier final : public BinaryClassifier {
+ public:
+  explicit HybridRslClassifier(HybridRslConfig config = {});
+
+  void fit(const Matrix& x, const Labels& y) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<BinaryClassifier> clone_config() const override;
+  std::string name() const override { return "HybridRSL"; }
+
+  const RandomForestClassifier& forest() const noexcept { return forest_; }
+  const SvmClassifier& svm() const noexcept { return svm_; }
+
+ private:
+  HybridRslConfig config_;
+  RandomForestClassifier forest_;
+  SvmClassifier svm_;
+  LogisticRegressionClassifier meta_;
+  bool constant_ = false;
+  double constant_probability_ = 0.0;
+};
+
+}  // namespace aqua::ml

@@ -1,0 +1,154 @@
+#include "ml/linear_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua::ml {
+
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+std::pair<double, double> balanced_class_weights(const Labels& y) {
+  std::size_t positives = 0;
+  for (auto v : y) positives += (v != 0);
+  const std::size_t negatives = y.size() - positives;
+  if (positives == 0 || negatives == 0) return {1.0, 1.0};
+  const auto n = static_cast<double>(y.size());
+  return {n / (2.0 * static_cast<double>(negatives)), n / (2.0 * static_cast<double>(positives))};
+}
+
+double positive_rate(const Labels& y) {
+  if (y.empty()) return 0.0;
+  std::size_t positives = 0;
+  for (auto v : y) positives += (v != 0);
+  return static_cast<double>(positives) / static_cast<double>(y.size());
+}
+
+namespace detail {
+
+void LinearModelCore::fit(const Matrix& x, const Labels& y) {
+  AQUA_REQUIRE(x.rows() == y.size(), "feature/label row mismatch");
+  AQUA_REQUIRE(x.rows() > 0, "empty training set");
+
+  const double pos_rate = positive_rate(y);
+  if (pos_rate == 0.0 || pos_rate == 1.0) {
+    constant_ = true;
+    constant_probability_ = pos_rate;
+    return;
+  }
+  constant_ = false;
+
+  scaler_.fit(x);
+  const Matrix xs = scaler_.transform(x);
+  const std::size_t n = xs.rows(), d = xs.cols();
+  const auto [w_neg, w_pos] = balanced_class_weights(y);
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> m(d + 1, 0.0), v(d + 1, 0.0);  // Adam moments (last = bias)
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  Rng rng(config_.seed);
+
+  std::size_t t = 0;
+  std::vector<double> grad(d + 1, 0.0);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      for (std::size_t k = start; k < end; ++k) {
+        const auto row = xs.row(order[k]);
+        const bool positive = y[order[k]] != 0;
+        const double weight = positive ? w_pos : w_neg;
+        double z = bias_;
+        for (std::size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
+        // dLoss/dz per loss family; targets are {0,1} for squared and
+        // logistic, {-1,+1} for hinge.
+        double dz = 0.0;
+        switch (loss_) {
+          case LinearLoss::kSquared:
+            dz = z - (positive ? 1.0 : 0.0);
+            break;
+          case LinearLoss::kLogistic:
+            dz = sigmoid(z) - (positive ? 1.0 : 0.0);
+            break;
+          case LinearLoss::kHinge: {
+            const double target = positive ? 1.0 : -1.0;
+            dz = (target * z < 1.0) ? -target : 0.0;
+            break;
+          }
+        }
+        dz *= weight;
+        for (std::size_t c = 0; c < d; ++c) grad[c] += dz * row[c];
+        grad[d] += dz;
+      }
+      const auto batch = static_cast<double>(end - start);
+      ++t;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(t));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(t));
+      for (std::size_t c = 0; c <= d; ++c) {
+        double g = grad[c] / batch;
+        if (c < d) g += config_.l2 * weights_[c];
+        m[c] = kBeta1 * m[c] + (1.0 - kBeta1) * g;
+        v[c] = kBeta2 * v[c] + (1.0 - kBeta2) * g * g;
+        const double step = config_.learning_rate * (m[c] / bc1) / (std::sqrt(v[c] / bc2) + kEps);
+        if (c < d) {
+          weights_[c] -= step;
+        } else {
+          bias_ -= step;
+        }
+      }
+    }
+  }
+}
+
+double LinearModelCore::decision(std::span<const double> x) const {
+  AQUA_REQUIRE(!constant_, "decision() on a degenerate constant model");
+  const std::vector<double> xs = scaler_.transform_row(x);
+  double z = bias_;
+  for (std::size_t c = 0; c < xs.size(); ++c) z += weights_[c] * xs[c];
+  return z;
+}
+
+}  // namespace detail
+
+LinearRegressionClassifier::LinearRegressionClassifier(SgdConfig config)
+    : config_(config), core_(detail::LinearLoss::kSquared, config) {}
+
+void LinearRegressionClassifier::fit(const Matrix& x, const Labels& y) { core_.fit(x, y); }
+
+double LinearRegressionClassifier::predict_proba(std::span<const double> x) const {
+  if (core_.constant()) return core_.constant_probability();
+  return std::clamp(core_.decision(x), 0.0, 1.0);
+}
+
+std::unique_ptr<BinaryClassifier> LinearRegressionClassifier::clone_config() const {
+  return std::make_unique<LinearRegressionClassifier>(config_);
+}
+
+LogisticRegressionClassifier::LogisticRegressionClassifier(SgdConfig config)
+    : config_(config), core_(detail::LinearLoss::kLogistic, config) {}
+
+void LogisticRegressionClassifier::fit(const Matrix& x, const Labels& y) { core_.fit(x, y); }
+
+double LogisticRegressionClassifier::predict_proba(std::span<const double> x) const {
+  if (core_.constant()) return core_.constant_probability();
+  return sigmoid(core_.decision(x));
+}
+
+std::unique_ptr<BinaryClassifier> LogisticRegressionClassifier::clone_config() const {
+  return std::make_unique<LogisticRegressionClassifier>(config_);
+}
+
+}  // namespace aqua::ml

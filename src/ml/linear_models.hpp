@@ -1,0 +1,86 @@
+// Linear family: ridge Linear Regression and Logistic Regression, both
+// trained with deterministic mini-batch Adam over standardized features
+// with balanced class weights. They share a common SGD core with the
+// linear SVM (hinge loss) in svm.hpp.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace aqua::ml {
+
+struct SgdConfig {
+  std::size_t epochs = 40;
+  std::size_t batch_size = 64;
+  double learning_rate = 0.02;
+  double l2 = 1e-4;
+  std::uint64_t seed = 13;
+};
+
+namespace detail {
+
+enum class LinearLoss { kSquared, kLogistic, kHinge };
+
+/// Shared Adam-trained linear model. Fits w, b on standardized inputs;
+/// `decision()` is w.x + b. Degenerates to a constant when y is
+/// single-class.
+class LinearModelCore {
+ public:
+  LinearModelCore(LinearLoss loss, SgdConfig config) : loss_(loss), config_(config) {}
+
+  void fit(const Matrix& x, const Labels& y);
+  double decision(std::span<const double> x) const;
+  bool constant() const noexcept { return constant_; }
+  double constant_probability() const noexcept { return constant_probability_; }
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  LinearLoss loss_;
+  SgdConfig config_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool constant_ = false;
+  double constant_probability_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Ridge linear regression on 0/1 targets; predict_proba clamps the
+/// regression output to [0, 1] (the paper uses LinearR as one of the
+/// plug-and-play baselines). Default optimizer settings differ from the
+/// logistic ones: the unbounded MSE objective on hundreds of correlated
+/// Δ-features needs a gentler learning rate and more epochs to converge
+/// instead of oscillating.
+class LinearRegressionClassifier final : public BinaryClassifier {
+ public:
+  explicit LinearRegressionClassifier(
+      SgdConfig config = {.epochs = 150, .batch_size = 64, .learning_rate = 0.004, .l2 = 1e-4,
+                          .seed = 13});
+  void fit(const Matrix& x, const Labels& y) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<BinaryClassifier> clone_config() const override;
+  std::string name() const override { return "LinearR"; }
+
+ private:
+  SgdConfig config_;
+  detail::LinearModelCore core_;
+};
+
+/// L2-regularized logistic regression.
+class LogisticRegressionClassifier final : public BinaryClassifier {
+ public:
+  explicit LogisticRegressionClassifier(SgdConfig config = {});
+  void fit(const Matrix& x, const Labels& y) override;
+  double predict_proba(std::span<const double> x) const override;
+  std::unique_ptr<BinaryClassifier> clone_config() const override;
+  std::string name() const override { return "LogisticR"; }
+
+ private:
+  SgdConfig config_;
+  detail::LinearModelCore core_;
+};
+
+/// Numerically safe sigmoid.
+double sigmoid(double z) noexcept;
+
+}  // namespace aqua::ml

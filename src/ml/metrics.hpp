@@ -1,0 +1,41 @@
+// Evaluation metrics. The paper's headline metric (Sec. V-B) is the
+// Hamming Score: "the number of leak events correctly predicted divided by
+// the union of predicted and true leak events" — i.e. the Jaccard index of
+// the predicted and true leak sets, bounded by 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace aqua::ml {
+
+/// Jaccard-style Hamming score of one multi-label prediction:
+/// |pred ∧ true| / |pred ∨ true|; both-empty scores 1 (nothing to find,
+/// nothing falsely flagged).
+double hamming_score(const Labels& predicted, const Labels& truth);
+
+/// Mean Hamming score across samples.
+double mean_hamming_score(const std::vector<Labels>& predicted, const std::vector<Labels>& truth);
+
+/// Standard binary-classification accuracy over flattened labels.
+double subset_accuracy(const std::vector<Labels>& predicted, const std::vector<Labels>& truth);
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+/// Micro-averaged precision/recall/F1 over all samples and labels.
+PrecisionRecall micro_precision_recall(const std::vector<Labels>& predicted,
+                                       const std::vector<Labels>& truth);
+
+/// Classification metrics for one binary label vector.
+double binary_accuracy(const Labels& predicted, const Labels& truth);
+
+}  // namespace aqua::ml

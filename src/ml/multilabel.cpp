@@ -1,0 +1,82 @@
+#include "ml/multilabel.hpp"
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace aqua::ml {
+
+MultiLabelModel::MultiLabelModel(ClassifierFactory factory) : factory_(std::move(factory)) {
+  AQUA_REQUIRE(static_cast<bool>(factory_), "classifier factory must be callable");
+}
+
+void MultiLabelModel::fit(const MultiLabelDataset& data, bool parallel) {
+  AQUA_REQUIRE(static_cast<bool>(factory_), "fit() requires a classifier factory");
+  data.check();
+  AQUA_REQUIRE(data.num_samples() > 0, "empty training set");
+  const std::size_t labels = data.num_labels();
+  AQUA_REQUIRE(labels > 0, "dataset has no labels");
+
+  classifiers_.clear();
+  classifiers_.resize(labels);
+  for (auto& c : classifiers_) c = factory_();
+
+  auto train_one = [&](std::size_t v) {
+    const Labels column = data.label_column(v);
+    classifiers_[v]->fit(data.features, column);
+  };
+  if (parallel) {
+    ThreadPool::global().parallel_for(labels, train_one);
+  } else {
+    for (std::size_t v = 0; v < labels; ++v) train_one(v);
+  }
+}
+
+std::vector<double> MultiLabelModel::predict_proba(std::span<const double> x) const {
+  AQUA_REQUIRE(fitted(), "predict on unfitted model");
+  std::vector<double> probabilities(classifiers_.size());
+  for (std::size_t v = 0; v < classifiers_.size(); ++v) {
+    probabilities[v] = classifiers_[v]->predict_proba(x);
+  }
+  return probabilities;
+}
+
+Labels MultiLabelModel::predict(std::span<const double> x) const {
+  AQUA_REQUIRE(fitted(), "predict on unfitted model");
+  Labels labels(classifiers_.size());
+  for (std::size_t v = 0; v < classifiers_.size(); ++v) {
+    labels[v] = classifiers_[v]->predict(x) ? 1 : 0;
+  }
+  return labels;
+}
+
+std::vector<std::vector<double>> MultiLabelModel::predict_proba_batch(const Matrix& x,
+                                                                      bool parallel) const {
+  AQUA_REQUIRE(fitted(), "predict on unfitted model");
+  std::vector<std::vector<double>> out(x.rows());
+  auto run = [&](std::size_t r) { out[r] = predict_proba(x.row(r)); };
+  if (parallel) {
+    ThreadPool::global().parallel_for(x.rows(), run);
+  } else {
+    for (std::size_t r = 0; r < x.rows(); ++r) run(r);
+  }
+  return out;
+}
+
+std::vector<Labels> MultiLabelModel::predict_batch(const Matrix& x, bool parallel) const {
+  AQUA_REQUIRE(fitted(), "predict on unfitted model");
+  std::vector<Labels> out(x.rows());
+  auto run = [&](std::size_t r) { out[r] = predict(x.row(r)); };
+  if (parallel) {
+    ThreadPool::global().parallel_for(x.rows(), run);
+  } else {
+    for (std::size_t r = 0; r < x.rows(); ++r) run(r);
+  }
+  return out;
+}
+
+const BinaryClassifier& MultiLabelModel::classifier(std::size_t label) const {
+  AQUA_REQUIRE(label < classifiers_.size(), "label index out of range");
+  return *classifiers_[label];
+}
+
+}  // namespace aqua::ml

@@ -1,0 +1,49 @@
+// The multi-label profile model f = {f_v : v ∈ V} (Algorithm 1): one
+// independently trained binary classifier per candidate leak node, all
+// sharing the same feature vector. Training is embarrassingly parallel and
+// runs on the process thread pool.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ml/classifier.hpp"
+
+namespace aqua::ml {
+
+/// Factory for fresh per-label classifiers (the "plug" in plug-and-play).
+using ClassifierFactory = std::function<std::unique_ptr<BinaryClassifier>()>;
+
+class MultiLabelModel {
+ public:
+  /// Default-constructed models must receive a factory before fit().
+  MultiLabelModel() = default;
+
+  /// `factory` supplies fresh per-label classifiers; must be callable.
+  explicit MultiLabelModel(ClassifierFactory factory);
+
+  /// Algorithm 1: for v in V do f_v.fit(T, X, Y_v).
+  void fit(const MultiLabelDataset& data, bool parallel = true);
+
+  std::size_t num_labels() const noexcept { return classifiers_.size(); }
+  bool fitted() const noexcept { return !classifiers_.empty(); }
+
+  /// predict_proba: per-label P(y_v = 1 | x).
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// predict: the leak set S = {v : p_v(1) > p_v(0)} as a 0/1 vector.
+  Labels predict(std::span<const double> x) const;
+
+  /// Batch helpers over a dataset's rows.
+  std::vector<std::vector<double>> predict_proba_batch(const Matrix& x,
+                                                       bool parallel = true) const;
+  std::vector<Labels> predict_batch(const Matrix& x, bool parallel = true) const;
+
+  const BinaryClassifier& classifier(std::size_t label) const;
+
+ private:
+  ClassifierFactory factory_;
+  std::vector<std::unique_ptr<BinaryClassifier>> classifiers_;
+};
+
+}  // namespace aqua::ml

@@ -1,0 +1,125 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aqua::ml {
+
+SvmClassifier::SvmClassifier(SvmConfig config)
+    : config_(config), core_(detail::LinearLoss::kHinge, config.sgd) {}
+
+Matrix SvmClassifier::map_matrix(const Matrix& x) const {
+  if (config_.rff_dimension == 0) return x;
+  Matrix out(x.rows(), config_.rff_dimension);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto mapped = map_features(x.row(r));
+    std::copy(mapped.begin(), mapped.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+std::vector<double> SvmClassifier::map_features(std::span<const double> x) const {
+  if (config_.rff_dimension == 0) return {x.begin(), x.end()};
+  const std::vector<double> xs = input_scaler_.transform_row(x);
+  const std::size_t d = xs.size();
+  std::vector<double> z(config_.rff_dimension);
+  const double scale = std::sqrt(2.0 / static_cast<double>(config_.rff_dimension));
+  for (std::size_t k = 0; k < config_.rff_dimension; ++k) {
+    double dot = rff_offsets_[k];
+    const auto row = rff_weights_.row(k);
+    for (std::size_t c = 0; c < d; ++c) dot += row[c] * xs[c];
+    z[k] = scale * std::cos(dot);
+  }
+  return z;
+}
+
+void SvmClassifier::fit(const Matrix& x, const Labels& y) {
+  AQUA_REQUIRE(x.rows() == y.size(), "feature/label row mismatch");
+  AQUA_REQUIRE(x.rows() > 0, "empty training set");
+
+  const double pos_rate = positive_rate(y);
+  if (pos_rate == 0.0 || pos_rate == 1.0) {
+    constant_ = true;
+    constant_probability_ = pos_rate;
+    return;
+  }
+  constant_ = false;
+
+  if (config_.rff_dimension > 0) {
+    input_scaler_.fit(x);
+    const double gamma =
+        config_.rff_gamma > 0.0 ? config_.rff_gamma : 1.0 / static_cast<double>(x.cols());
+    // W ~ N(0, 2*gamma I), b ~ U[0, 2*pi) gives E[z(x).z(y)] = exp(-gamma |x-y|^2).
+    Rng rng(config_.seed);
+    rff_weights_ = Matrix(config_.rff_dimension, x.cols());
+    rff_offsets_.resize(config_.rff_dimension);
+    const double sigma = std::sqrt(2.0 * gamma);
+    for (std::size_t k = 0; k < config_.rff_dimension; ++k) {
+      auto row = rff_weights_.row(k);
+      for (std::size_t c = 0; c < x.cols(); ++c) row[c] = rng.normal(0.0, sigma);
+      rff_offsets_[k] = rng.uniform(0.0, 6.283185307179586);
+    }
+  }
+
+  const Matrix mapped = map_matrix(x);
+  core_.fit(mapped, y);
+  fit_platt(mapped, y);
+}
+
+void SvmClassifier::fit_platt(const Matrix& mapped, const Labels& y) {
+  // Platt scaling: fit P(y=1|f) = sigmoid(a*f + b) by a few Newton steps on
+  // the regularized targets from Platt (1999).
+  const std::size_t n = mapped.rows();
+  std::vector<double> decision(n);
+  for (std::size_t i = 0; i < n; ++i) decision[i] = core_.decision(mapped.row(i));
+
+  std::size_t positives = 0;
+  for (auto v : y) positives += (v != 0);
+  const double t_pos = (static_cast<double>(positives) + 1.0) / (static_cast<double>(positives) + 2.0);
+  const double t_neg = 1.0 / (static_cast<double>(n - positives) + 2.0);
+
+  double a = 1.0, b = 0.0;
+  for (int iter = 0; iter < 30; ++iter) {
+    double g_a = 0.0, g_b = 0.0, h_aa = 1e-9, h_ab = 0.0, h_bb = 1e-9;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = y[i] != 0 ? t_pos : t_neg;
+      const double p = sigmoid(a * decision[i] + b);
+      const double d1 = p - t;
+      const double d2 = std::max(p * (1.0 - p), 1e-9);
+      g_a += d1 * decision[i];
+      g_b += d1;
+      h_aa += d2 * decision[i] * decision[i];
+      h_ab += d2 * decision[i];
+      h_bb += d2;
+    }
+    const double det = h_aa * h_bb - h_ab * h_ab;
+    if (std::abs(det) < 1e-15) break;
+    const double da = (h_bb * g_a - h_ab * g_b) / det;
+    const double db = (h_aa * g_b - h_ab * g_a) / det;
+    a -= da;
+    b -= db;
+    if (std::abs(da) + std::abs(db) < 1e-8) break;
+  }
+  // Guard orientation: `a` should be positive (larger decision value =
+  // more likely positive; the hinge trainer uses +1 for the positive class).
+  platt_a_ = a;
+  platt_b_ = b;
+}
+
+double SvmClassifier::decision_value(std::span<const double> x) const {
+  AQUA_REQUIRE(!constant_, "decision_value on a degenerate constant model");
+  return core_.decision(map_features(x));
+}
+
+double SvmClassifier::predict_proba(std::span<const double> x) const {
+  if (constant_) return constant_probability_;
+  return sigmoid(platt_a_ * decision_value(x) + platt_b_);
+}
+
+std::unique_ptr<BinaryClassifier> SvmClassifier::clone_config() const {
+  return std::make_unique<SvmClassifier>(config_);
+}
+
+}  // namespace aqua::ml

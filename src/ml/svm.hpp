@@ -1,0 +1,51 @@
+// Support Vector Machine classifier. The decision function is a linear
+// SVM (hinge loss, Pegasos-style SGD via the shared Adam core) over an
+// optional Random Fourier Feature map that approximates the RBF kernel —
+// giving the nonlinearity of kernel SVM at linear cost, which matters when
+// fitting one classifier per junction. Probabilities come from Platt
+// scaling (a sigmoid fitted to the decision values).
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/linear_models.hpp"
+
+namespace aqua::ml {
+
+struct SvmConfig {
+  SgdConfig sgd{.epochs = 40, .batch_size = 64, .learning_rate = 0.02, .l2 = 1e-3, .seed = 37};
+  /// Random Fourier Features for RBF approximation; 0 = plain linear SVM.
+  std::size_t rff_dimension = 96;
+  /// RBF bandwidth gamma; <= 0 selects 1 / num_features ("scale"-like).
+  double rff_gamma = -1.0;
+  std::uint64_t seed = 41;
+};
+
+class SvmClassifier final : public BinaryClassifier {
+ public:
+  explicit SvmClassifier(SvmConfig config = {});
+
+  void fit(const Matrix& x, const Labels& y) override;
+  double predict_proba(std::span<const double> x) const override;
+  /// Raw (pre-Platt) decision value, exposed for tests.
+  double decision_value(std::span<const double> x) const;
+  std::unique_ptr<BinaryClassifier> clone_config() const override;
+  std::string name() const override { return "SVM"; }
+
+ private:
+  std::vector<double> map_features(std::span<const double> x) const;
+  Matrix map_matrix(const Matrix& x) const;
+  void fit_platt(const Matrix& mapped, const Labels& y);
+
+  SvmConfig config_;
+  detail::LinearModelCore core_;
+  StandardScaler input_scaler_;
+  // RFF projection: z(x) = sqrt(2/D) cos(W x + b).
+  Matrix rff_weights_;             // D x d
+  std::vector<double> rff_offsets_;  // D
+  double platt_a_ = -1.0;
+  double platt_b_ = 0.0;
+  bool constant_ = false;
+  double constant_probability_ = 0.0;
+};
+
+}  // namespace aqua::ml

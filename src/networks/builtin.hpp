@@ -1,0 +1,28 @@
+// The two evaluation networks from the paper (Sec. V-A, Fig. 5), rebuilt
+// deterministically with exactly the published element counts:
+//
+//   EPA-NET      — "a canonical water network provided by the EPANET" with
+//                  96 nodes, 118 pipes, 2 pumps, one valve, 3 tanks and
+//                  2 water sources.
+//   WSSC-SUBNET  — "a subzone of WSSC service area" with 299 nodes,
+//                  316 pipes, 2 valves and one water source. The real
+//                  network is proprietary; this is a synthetic stand-in
+//                  with the same scale, loop density and single-source
+//                  gravity-fed structure (see DESIGN.md substitutions).
+#pragma once
+
+#include "hydraulics/network.hpp"
+
+namespace aqua::networks {
+
+/// Canonical EPA-NET: 91 junctions + 3 tanks + 2 reservoirs = 96 nodes;
+/// 118 pipes + 2 pumps + 1 valve = 121 links. Pumped two-source system
+/// with diurnal demands.
+hydraulics::Network make_epa_net();
+
+/// WSSC-SUBNET: 298 junctions + 1 reservoir = 299 nodes; 316 pipes +
+/// 2 valves = 318 links. Gravity-fed single-source subzone with planar
+/// coordinates (used for tweet geolocation and the flood DEM).
+hydraulics::Network make_wssc_subnet();
+
+}  // namespace aqua::networks

@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include "common/error.hpp"
+#include "networks/builtin.hpp"
+#include "networks/generator.hpp"
+
+namespace aqua::networks {
+
+using hydraulics::Network;
+using hydraulics::NodeId;
+using hydraulics::PumpCurve;
+
+Network make_epa_net() {
+  Network network("EPA-NET");
+  const int pattern = network.add_pattern(diurnal_pattern());
+
+  GridSkeletonSpec spec;
+  spec.rows = 7;
+  spec.cols = 13;                      // 91 junctions
+  spec.extra_loops = 22;               // 90 tree + 22 chords = 112 grid pipes
+  spec.spacing_m = 160.0;
+  spec.elevation_base_m = 12.0;
+  spec.elevation_relief_m = 16.0;
+  spec.demand_min_lps = 0.25;
+  spec.demand_max_lps = 1.30;
+  spec.demand_pattern = pattern;
+  spec.seed = 0xEFA0EFA0ULL;
+  const GridSkeleton skeleton = build_grid_skeleton(network, spec);
+
+  auto grid = [&](std::size_t r, std::size_t c) { return skeleton.grid_nodes[r * spec.cols + c]; };
+
+  // Two water sources feeding opposite corners through pumps. Source pools
+  // sit low; pumps lift into the grid.
+  const NodeId lake = network.add_reservoir("LAKE", 6.0, -250.0, -250.0);
+  const NodeId river = network.add_reservoir("RIVER", 4.0, 12.0 * 160.0 + 250.0, 6.0 * 160.0 + 250.0);
+  // Pump curves: shutoff ~75 m, designed around ~60-80 L/s per pump.
+  network.add_pump("PU1", lake, grid(0, 0), PumpCurve{75.0, 3200.0, 2.0});
+  network.add_pump("PU2", river, grid(6, 12), PumpCurve{72.0, 3600.0, 2.0});
+
+  // Three elevated storage tanks on high ground, each teed off the grid by
+  // a dedicated pipe (pipes 112..114).
+  struct TankSpot {
+    const char* name;
+    std::size_t r, c;
+  };
+  const TankSpot spots[] = {{"T1", 1, 6}, {"T2", 5, 3}, {"T3", 4, 10}};
+  std::size_t pipe_counter = skeleton.num_pipes;
+  for (const auto& spot : spots) {
+    const NodeId anchor = grid(spot.r, spot.c);
+    const auto& a = network.node(anchor);
+    // Tank base must sit above local service heads so it can float on the
+    // system: base ~= anchor elevation + 38 m, operating band 2..8 m.
+    const NodeId tank = network.add_tank(spot.name, a.elevation + 38.0, 5.0, 2.0, 8.0, 18.0,
+                                         a.x + 60.0, a.y + 60.0);
+    network.add_pipe("P" + std::to_string(pipe_counter++), anchor, tank, 80.0, 0.35, 120.0);
+  }
+
+  // One inline throttle valve on a mid-grid main (completing 118 pipes + 1
+  // valve); the valve parallels a trunk so closing it reroutes flow.
+  network.add_pipe("P" + std::to_string(pipe_counter++), grid(3, 5), grid(2, 6), 170.0, 0.35,
+                   118.0);
+  network.add_pipe("P" + std::to_string(pipe_counter++), grid(3, 7), grid(4, 8), 175.0, 0.35,
+                   116.0);
+  network.add_pipe("P" + std::to_string(pipe_counter++), grid(1, 2), grid(2, 1), 180.0, 0.30,
+                   112.0);
+  network.add_valve("V1", grid(3, 6), grid(4, 6), 0.35, 2.0);
+
+  network.validate();
+  AQUA_REQUIRE(network.num_nodes() == 96, "EPA-NET must have 96 nodes");
+  AQUA_REQUIRE(network.count_links(hydraulics::LinkType::kPipe) == 118,
+               "EPA-NET must have 118 pipes");
+  AQUA_REQUIRE(network.count_links(hydraulics::LinkType::kPump) == 2, "EPA-NET must have 2 pumps");
+  AQUA_REQUIRE(network.count_links(hydraulics::LinkType::kValve) == 1, "EPA-NET must have 1 valve");
+  AQUA_REQUIRE(network.count_nodes(hydraulics::NodeType::kTank) == 3, "EPA-NET must have 3 tanks");
+  AQUA_REQUIRE(network.count_nodes(hydraulics::NodeType::kReservoir) == 2,
+               "EPA-NET must have 2 sources");
+  return network;
+}
+
+}  // namespace aqua::networks

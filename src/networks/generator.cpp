@@ -1,0 +1,153 @@
+#include "networks/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aqua::networks {
+
+using hydraulics::Network;
+using hydraulics::NodeId;
+
+double terrain_elevation(double x, double y, double base_m, double relief_m) {
+  // A few incommensurate harmonics give gentle ridges and basins without
+  // periodic artifacts at network scale.
+  const double kx = x / 700.0, ky = y / 900.0;
+  const double field = 0.45 * std::sin(1.3 * kx + 0.4) + 0.35 * std::cos(1.7 * ky - 0.9) +
+                       0.20 * std::sin(2.3 * kx + 1.9 * ky) +
+                       0.15 * std::cos(0.7 * kx - 2.1 * ky + 0.5);
+  return base_m + relief_m * 0.5 * (field + 1.15);
+}
+
+hydraulics::Pattern diurnal_pattern(const std::string& name) {
+  hydraulics::Pattern p;
+  p.name = name;
+  // Hourly multipliers: overnight trough, morning (7-9) and evening (18-21)
+  // peaks; normalized to mean 1 below.
+  p.multipliers = {0.55, 0.50, 0.48, 0.50, 0.60, 0.85, 1.20, 1.50, 1.45, 1.20, 1.05, 1.00,
+                   0.98, 0.95, 0.92, 0.95, 1.05, 1.25, 1.45, 1.40, 1.20, 1.00, 0.80, 0.62};
+  double sum = 0.0;
+  for (double m : p.multipliers) sum += m;
+  const double mean = sum / static_cast<double>(p.multipliers.size());
+  for (double& m : p.multipliers) m /= mean;
+  return p;
+}
+
+GridSkeleton build_grid_skeleton(Network& network, const GridSkeletonSpec& spec) {
+  AQUA_REQUIRE(spec.rows >= 2 && spec.cols >= 2, "grid must be at least 2x2");
+  const std::size_t n = spec.rows * spec.cols;
+  Rng rng(spec.seed);
+
+  GridSkeleton skeleton;
+  skeleton.grid_nodes.reserve(n);
+
+  // Junctions on a jittered grid with terrain-driven elevations.
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.cols; ++c) {
+      const double jitter = spec.jitter_frac * spec.spacing_m;
+      const double x = static_cast<double>(c) * spec.spacing_m + rng.uniform(-jitter, jitter);
+      const double y = static_cast<double>(r) * spec.spacing_m + rng.uniform(-jitter, jitter);
+      const double elevation =
+          terrain_elevation(x, y, spec.elevation_base_m, spec.elevation_relief_m);
+      const double demand = rng.uniform(spec.demand_min_lps, spec.demand_max_lps);
+      const std::string name = "J" + std::to_string(r) + "_" + std::to_string(c);
+      skeleton.grid_nodes.push_back(
+          network.add_junction(name, elevation, demand, spec.demand_pattern, x, y));
+    }
+  }
+
+  // Candidate grid edges (4-neighborhood).
+  struct Candidate {
+    std::size_t a, b;  // grid indices
+  };
+  std::vector<Candidate> candidates;
+  auto grid_index = [&](std::size_t r, std::size_t c) { return r * spec.cols + c; };
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.cols; ++c) {
+      if (c + 1 < spec.cols) candidates.push_back({grid_index(r, c), grid_index(r, c + 1)});
+      if (r + 1 < spec.rows) candidates.push_back({grid_index(r, c), grid_index(r + 1, c)});
+    }
+  }
+  AQUA_REQUIRE(candidates.size() >= n - 1 + spec.extra_loops,
+               "grid too small for requested loop count");
+
+  // Randomized spanning tree: shuffle candidates, union-find accept.
+  rng.shuffle(candidates);
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::vector<std::size_t> root_stack;
+  auto find_root = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  // BFS depth from grid node 0 determines pipe sizing (computed after the
+  // edge set is final), so collect accepted edges first.
+  std::vector<Candidate> accepted;
+  std::vector<Candidate> leftovers;
+  for (const auto& cand : candidates) {
+    const std::size_t ra = find_root(cand.a), rb = find_root(cand.b);
+    if (ra != rb) {
+      parent[ra] = rb;
+      accepted.push_back(cand);
+    } else {
+      leftovers.push_back(cand);
+    }
+  }
+  AQUA_REQUIRE(accepted.size() == n - 1, "internal: spanning tree incomplete");
+  AQUA_REQUIRE(leftovers.size() >= spec.extra_loops, "not enough chords for requested loops");
+  accepted.insert(accepted.end(), leftovers.begin(),
+                  leftovers.begin() + static_cast<std::ptrdiff_t>(spec.extra_loops));
+
+  // BFS depth over the accepted edge set.
+  std::vector<std::vector<std::size_t>> adjacency(n);
+  for (const auto& e : accepted) {
+    adjacency[e.a].push_back(e.b);
+    adjacency[e.b].push_back(e.a);
+  }
+  std::vector<int> depth(n, -1);
+  std::queue<std::size_t> frontier;
+  depth[0] = 0;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (std::size_t w : adjacency[v]) {
+      if (depth[w] < 0) {
+        depth[w] = depth[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+
+  auto diameter_for_depth = [](int d) {
+    if (d <= 2) return 0.50;
+    if (d <= 5) return 0.35;
+    if (d <= 9) return 0.25;
+    return 0.20;
+  };
+
+  std::size_t pipe_counter = 0;
+  for (const auto& e : accepted) {
+    const NodeId a = skeleton.grid_nodes[e.a];
+    const NodeId b = skeleton.grid_nodes[e.b];
+    const auto& na = network.node(a);
+    const auto& nb = network.node(b);
+    const double dx = na.x - nb.x, dy = na.y - nb.y;
+    const double length = std::max(std::hypot(dx, dy), 10.0);
+    const double diameter = diameter_for_depth(std::min(depth[e.a], depth[e.b]));
+    const double roughness = rng.uniform(95.0, 135.0);  // aged-to-new HW C
+    network.add_pipe("P" + std::to_string(pipe_counter++), a, b, length, diameter, roughness);
+  }
+  skeleton.num_pipes = pipe_counter;
+  return skeleton;
+}
+
+}  // namespace aqua::networks

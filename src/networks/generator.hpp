@@ -1,0 +1,52 @@
+// Parametric generator for looped water-distribution skeletons. Both
+// built-in evaluation networks (EPA-NET, WSSC-SUBNET) are grown from a
+// jittered grid: a randomized spanning tree guarantees connectivity, and
+// extra chords create the loops characteristic of community networks
+// ("typically densely connected and complex networks with highly
+// correlated measurements", Sec. I). Elevation comes from a smooth
+// synthetic terrain so pressure zones and the flood DEM are physically
+// coherent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hydraulics/network.hpp"
+
+namespace aqua::networks {
+
+struct GridSkeletonSpec {
+  std::size_t rows = 7;
+  std::size_t cols = 13;
+  std::size_t extra_loops = 25;    // chords beyond the spanning tree
+  double spacing_m = 150.0;        // nominal grid spacing
+  double jitter_frac = 0.25;       // positional jitter as fraction of spacing
+  double elevation_base_m = 10.0;
+  double elevation_relief_m = 18.0;  // terrain amplitude
+  double demand_min_lps = 0.2;
+  double demand_max_lps = 1.2;
+  int demand_pattern = -1;  // pattern index to attach to every junction
+  std::uint64_t seed = 1;
+};
+
+/// Result of skeleton generation: node ids in row-major grid order and the
+/// number of junction-junction pipes created (tree + chords).
+struct GridSkeleton {
+  std::vector<hydraulics::NodeId> grid_nodes;  // rows*cols junctions
+  std::size_t num_pipes = 0;
+};
+
+/// Smooth deterministic terrain: base + relief modulated by a few sin/cos
+/// harmonics of (x, y). Shared with the flood DEM.
+double terrain_elevation(double x, double y, double base_m, double relief_m);
+
+/// Adds rows*cols junctions and (rows*cols - 1 + extra_loops) pipes to
+/// `network`. Pipe diameters are assigned by BFS depth from grid node 0
+/// (trunk mains near the origin, distribution pipes at the fringe).
+GridSkeleton build_grid_skeleton(hydraulics::Network& network, const GridSkeletonSpec& spec);
+
+/// A 24-value diurnal demand pattern with morning and evening peaks,
+/// normalized to mean 1.
+hydraulics::Pattern diurnal_pattern(const std::string& name = "diurnal");
+
+}  // namespace aqua::networks

@@ -1,0 +1,74 @@
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "networks/builtin.hpp"
+#include "networks/generator.hpp"
+
+namespace aqua::networks {
+
+using hydraulics::Network;
+using hydraulics::NodeId;
+
+Network make_wssc_subnet() {
+  Network network("WSSC-SUBNET");
+  const int pattern = network.add_pattern(diurnal_pattern());
+
+  // 19x15 = 285 grid junctions + 13 dead-end spur junctions = 298
+  // junctions; with the single reservoir the network has 299 nodes.
+  GridSkeletonSpec spec;
+  spec.rows = 19;
+  spec.cols = 15;
+  spec.extra_loops = 18;  // 284 tree + 18 chords = 302 grid pipes
+  spec.spacing_m = 130.0;
+  spec.elevation_base_m = 8.0;
+  spec.elevation_relief_m = 22.0;
+  spec.demand_min_lps = 0.15;
+  spec.demand_max_lps = 0.95;
+  spec.demand_pattern = pattern;
+  spec.seed = 0x55C0555CULL;
+  const GridSkeleton skeleton = build_grid_skeleton(network, spec);
+
+  auto grid = [&](std::size_t r, std::size_t c) { return skeleton.grid_nodes[r * spec.cols + c]; };
+
+  Rng rng(0x55C0AAAAULL);
+  std::size_t pipe_counter = skeleton.num_pipes;
+
+  // 13 dead-end service spurs (cul-de-sac laterals) off interior nodes.
+  for (std::size_t s = 0; s < 13; ++s) {
+    const std::size_t r = 1 + (s * 17) % (spec.rows - 2);
+    const std::size_t c = 1 + (s * 7) % (spec.cols - 2);
+    const NodeId anchor = grid(r, c);
+    const auto& a = network.node(anchor);
+    const double angle = rng.uniform(0.0, 6.283185307179586);
+    const double x = a.x + 70.0 * std::cos(angle);
+    const double y = a.y + 70.0 * std::sin(angle);
+    const double elevation = terrain_elevation(x, y, spec.elevation_base_m, spec.elevation_relief_m);
+    const NodeId spur = network.add_junction("S" + std::to_string(s), elevation,
+                                             rng.uniform(0.1, 0.6), pattern, x, y);
+    network.add_pipe("P" + std::to_string(pipe_counter++), anchor, spur, 75.0, 0.15,
+                     rng.uniform(90.0, 120.0));
+  }
+
+  // Single elevated source: a gravity reservoir feeding the corner trunk
+  // through a transmission main.
+  const NodeId source = network.add_reservoir("SRC", 95.0, -300.0, -300.0);
+  network.add_pipe("P" + std::to_string(pipe_counter++), source, grid(0, 0), 420.0, 0.60, 130.0);
+
+  // Two sectorization valves on interior mains.
+  network.add_valve("V1", grid(6, 7), grid(7, 7), 0.35, 2.5);
+  network.add_valve("V2", grid(12, 4), grid(12, 5), 0.30, 2.5);
+
+  network.validate();
+  AQUA_REQUIRE(network.num_nodes() == 299, "WSSC-SUBNET must have 299 nodes");
+  AQUA_REQUIRE(network.count_links(hydraulics::LinkType::kPipe) == 316,
+               "WSSC-SUBNET must have 316 pipes");
+  AQUA_REQUIRE(network.count_links(hydraulics::LinkType::kValve) == 2,
+               "WSSC-SUBNET must have 2 valves");
+  AQUA_REQUIRE(network.count_nodes(hydraulics::NodeType::kReservoir) == 1,
+               "WSSC-SUBNET must have 1 source");
+  return network;
+}
+
+}  // namespace aqua::networks

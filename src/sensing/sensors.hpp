@@ -1,0 +1,66 @@
+// IoT sensor modeling (Sec. III-B). A sensor set A ⊆ V ∪ E mixes pressure
+// transducers (on nodes) and flow meters (on links). Readings are sampled
+// from EPS results at 15-minute slots with Gaussian measurement noise, and
+// the ML features are *differences between consecutive readings*: "we use
+// the difference between two sets of consecutive readings from IoT devices
+// as the features of X ... the change on pressure head or flow rate of
+// sensor a" (Sec. IV-A), taken between slots e.t-1 and e.t+n.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hydraulics/network.hpp"
+#include "hydraulics/simulation.hpp"
+
+namespace aqua::sensing {
+
+enum class SensorKind { kPressure, kFlow };
+
+struct Sensor {
+  SensorKind kind = SensorKind::kPressure;
+  std::size_t index = 0;  // node id (pressure) or link id (flow)
+  std::string name;
+};
+
+/// An ordered sensor deployment; feature vectors follow this order.
+struct SensorSet {
+  std::vector<Sensor> sensors;
+
+  std::size_t size() const noexcept { return sensors.size(); }
+  std::size_t count(SensorKind kind) const noexcept;
+};
+
+/// Measurement noise: additive Gaussian on pressure [m]; on flow the noise
+/// is relative with an absolute floor (meters are spec'd in % of reading).
+struct NoiseModel {
+  double pressure_sigma_m = 0.005;
+  double flow_sigma_frac = 0.005;
+  double flow_sigma_floor_m3s = 5e-5;
+};
+
+/// Full observation A = V ∪ E: a pressure sensor at every node and a flow
+/// meter on every link ("|A| = |V| + |E| refers to the full (100%) IoT
+/// observations", Sec. V-B).
+SensorSet full_observation(const hydraulics::Network& network);
+
+/// Noisy readings of every sensor at one recorded slot.
+std::vector<double> read_sensors(const SensorSet& sensors,
+                                 const hydraulics::SimulationResults& results, std::size_t step,
+                                 const NoiseModel& noise, Rng& rng);
+
+/// Δ-features: reading(leak_slot + elapsed) − reading(leak_slot − 1),
+/// noise drawn independently per reading. `leak_slot` must be >= 1.
+std::vector<double> delta_features(const SensorSet& sensors,
+                                   const hydraulics::SimulationResults& results,
+                                   std::size_t leak_slot, std::size_t elapsed_slots,
+                                   const NoiseModel& noise, Rng& rng);
+
+/// Noise-free variant used by analytical harnesses (e.g. Fig. 2).
+std::vector<double> delta_features_clean(const SensorSet& sensors,
+                                         const hydraulics::SimulationResults& results,
+                                         std::size_t leak_slot, std::size_t elapsed_slots);
+
+}  // namespace aqua::sensing

@@ -1,0 +1,166 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "networks/builtin.hpp"
+
+namespace aqua::core {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  hydraulics::Network net_ = networks::make_epa_net();
+};
+
+TEST_F(ScenarioTest, EventCountWithinConfiguredRange) {
+  ScenarioConfig config;
+  config.min_events = 2;
+  config.max_events = 4;
+  ScenarioGenerator generator(net_, config);
+  std::set<std::size_t> seen_counts;
+  for (int i = 0; i < 200; ++i) {
+    const auto scenario = generator.next();
+    EXPECT_GE(scenario.events.size(), 2u);
+    EXPECT_LE(scenario.events.size(), 4u);
+    seen_counts.insert(scenario.events.size());
+  }
+  EXPECT_EQ(seen_counts.size(), 3u);  // U(2,4) covers all three values
+}
+
+TEST_F(ScenarioTest, TruthMatchesEvents) {
+  ScenarioGenerator generator(net_, {});
+  const LabelSpace labels(net_);
+  for (int i = 0; i < 50; ++i) {
+    const auto scenario = generator.next();
+    std::size_t positives = 0;
+    for (auto t : scenario.truth) positives += t;
+    EXPECT_EQ(positives, scenario.events.size());
+    for (const auto& event : scenario.events) {
+      EXPECT_EQ(scenario.truth[labels.label_of(event.node)], 1);
+    }
+  }
+}
+
+TEST_F(ScenarioTest, EventsShareStartTimeAndDistinctLocations) {
+  ScenarioConfig config;
+  config.min_events = 3;
+  config.max_events = 5;
+  ScenarioGenerator generator(net_, config);
+  for (int i = 0; i < 50; ++i) {
+    const auto scenario = generator.next();
+    std::set<hydraulics::NodeId> nodes;
+    for (const auto& event : scenario.events) {
+      EXPECT_DOUBLE_EQ(event.start_time_s,
+                       static_cast<double>(scenario.leak_slot) * 900.0);
+      nodes.insert(event.node);
+    }
+    EXPECT_EQ(nodes.size(), scenario.events.size());  // concurrent leaks at distinct nodes
+  }
+}
+
+TEST_F(ScenarioTest, LeakSizesWithinRange) {
+  ScenarioConfig config;
+  config.ec_min = 0.002;
+  config.ec_max = 0.004;
+  ScenarioGenerator generator(net_, config);
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& event : generator.next().events) {
+      EXPECT_GE(event.coefficient, 0.002);
+      EXPECT_LE(event.coefficient, 0.004);
+      EXPECT_DOUBLE_EQ(event.exponent, 0.5);
+    }
+  }
+}
+
+TEST_F(ScenarioTest, LeakSlotWithinRange) {
+  ScenarioConfig config;
+  config.min_leak_slot = 5;
+  config.max_leak_slot = 9;
+  ScenarioGenerator generator(net_, config);
+  for (int i = 0; i < 50; ++i) {
+    const auto scenario = generator.next();
+    EXPECT_GE(scenario.leak_slot, 5u);
+    EXPECT_LE(scenario.leak_slot, 9u);
+  }
+}
+
+TEST_F(ScenarioTest, WarmScenariosHaveNoFreeze) {
+  ScenarioGenerator generator(net_, {});
+  const auto scenario = generator.next();
+  for (auto f : scenario.frozen) EXPECT_EQ(f, 0);
+  EXPECT_GT(scenario.temperature_f, fusion::kFreezeThresholdF);
+}
+
+TEST_F(ScenarioTest, ColdScenariosFreezeLeakNodes) {
+  ScenarioConfig config;
+  config.cold_weather = true;
+  ScenarioGenerator generator(net_, config);
+  const LabelSpace labels(net_);
+  for (int i = 0; i < 50; ++i) {
+    const auto scenario = generator.next();
+    EXPECT_LT(scenario.temperature_f, fusion::kFreezeThresholdF);
+    // Every leaking node must be frozen (freeze-then-burst causality).
+    for (const auto& event : scenario.events) {
+      EXPECT_EQ(scenario.frozen[labels.label_of(event.node)], 1);
+    }
+    // And the overall freeze rate should be near p_freeze = 0.8.
+    std::size_t frozen_count = 0;
+    for (auto f : scenario.frozen) frozen_count += f;
+    EXPECT_GT(frozen_count, scenario.frozen.size() / 2);
+  }
+}
+
+TEST_F(ScenarioTest, DeterministicGivenSeed) {
+  ScenarioConfig config;
+  config.seed = 77;
+  ScenarioGenerator a(net_, config), b(net_, config);
+  for (int i = 0; i < 20; ++i) {
+    const auto sa = a.next();
+    const auto sb = b.next();
+    EXPECT_EQ(sa.truth, sb.truth);
+    EXPECT_EQ(sa.leak_slot, sb.leak_slot);
+  }
+}
+
+TEST_F(ScenarioTest, GenerateBatch) {
+  ScenarioGenerator generator(net_, {});
+  const auto batch = generator.generate(25);
+  EXPECT_EQ(batch.size(), 25u);
+}
+
+TEST_F(ScenarioTest, ConfigValidation) {
+  ScenarioConfig config;
+  config.min_events = 0;
+  EXPECT_THROW(ScenarioGenerator(net_, config), InvalidArgument);
+  config = {};
+  config.max_events = 1000;  // more than junctions
+  EXPECT_THROW(ScenarioGenerator(net_, config), InvalidArgument);
+  config = {};
+  config.min_leak_slot = 0;  // needs a predecessor sample
+  EXPECT_THROW(ScenarioGenerator(net_, config), InvalidArgument);
+  config = {};
+  config.ec_min = -1.0;
+  EXPECT_THROW(ScenarioGenerator(net_, config), InvalidArgument);
+}
+
+TEST(LabelSpace, BidirectionalMapping) {
+  const auto net = networks::make_epa_net();
+  const LabelSpace labels(net);
+  EXPECT_EQ(labels.num_labels(), 91u);
+  for (std::size_t l = 0; l < labels.num_labels(); ++l) {
+    EXPECT_EQ(labels.label_of(labels.node_of(l)), l);
+    EXPECT_TRUE(labels.has_label(labels.node_of(l)));
+  }
+  // Reservoirs and tanks carry no label.
+  for (hydraulics::NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (net.node(v).has_fixed_head()) {
+      EXPECT_FALSE(labels.has_label(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqua::core

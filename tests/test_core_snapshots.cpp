@@ -1,0 +1,139 @@
+#include "core/snapshots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "networks/builtin.hpp"
+#include "sensing/placement.hpp"
+
+namespace aqua::core {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() : net_(networks::make_epa_net()) {
+    ScenarioConfig config;
+    config.min_events = 1;
+    config.max_events = 2;
+    config.seed = 5;
+    ScenarioGenerator generator(net_, config);
+    scenarios_ = generator.generate(8);
+  }
+
+  hydraulics::Network net_;
+  std::vector<LeakScenario> scenarios_;
+};
+
+TEST_F(SnapshotTest, BatchCoversAllScenarios) {
+  const SnapshotBatch batch(net_, scenarios_, {1, 4});
+  EXPECT_EQ(batch.size(), scenarios_.size());
+  EXPECT_EQ(batch.elapsed_slots(), (std::vector<std::size_t>{1, 4}));
+}
+
+TEST_F(SnapshotTest, SnapshotDimensionsMatchNetwork) {
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  const auto& snap = batch.snapshots(0);
+  EXPECT_EQ(snap.before_pressure.size(), net_.num_nodes());
+  EXPECT_EQ(snap.before_flow.size(), net_.num_links());
+  ASSERT_EQ(snap.after_pressure.size(), 1u);
+  EXPECT_EQ(snap.after_pressure[0].size(), net_.num_nodes());
+}
+
+TEST_F(SnapshotTest, LeakNodePressureDropsAfterEvent) {
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  const LabelSpace labels(net_);
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    const auto& snap = batch.snapshots(i);
+    for (const auto& event : scenarios_[i].events) {
+      EXPECT_LT(snap.after_pressure[0][event.node], snap.before_pressure[event.node])
+          << "scenario " << i;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, DayFractionReflectsLeakSlot) {
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    const double expected =
+        std::fmod(static_cast<double>(scenarios_[i].leak_slot) * 900.0, 86400.0) / 86400.0;
+    EXPECT_NEAR(batch.snapshots(i).day_fraction, expected, 1e-12);
+  }
+}
+
+TEST_F(SnapshotTest, FeatureVectorLayout) {
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  const auto sensors = sensing::full_observation(net_);
+  sensing::NoiseModel noise;
+  Rng rng(9);
+  const auto with_time = batch.features(0, sensors, 0, noise, rng, true);
+  EXPECT_EQ(with_time.size(), sensors.size() + 1);
+  const auto without_time = batch.features(0, sensors, 0, noise, rng, false);
+  EXPECT_EQ(without_time.size(), sensors.size());
+}
+
+TEST_F(SnapshotTest, CleanFeaturesMatchSnapshots) {
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  sensing::SensorSet one;
+  const auto leak_node = scenarios_[0].events[0].node;
+  one.sensors.push_back({sensing::SensorKind::kPressure, leak_node, "p"});
+  sensing::NoiseModel no_noise;
+  no_noise.pressure_sigma_m = 0.0;
+  no_noise.flow_sigma_frac = 0.0;
+  no_noise.flow_sigma_floor_m3s = 0.0;
+  Rng rng(10);
+  const auto features = batch.features(0, one, 0, no_noise, rng, false);
+  const auto& snap = batch.snapshots(0);
+  EXPECT_NEAR(features[0], snap.after_pressure[0][leak_node] - snap.before_pressure[leak_node],
+              1e-12);
+  EXPECT_LT(features[0], 0.0);
+}
+
+TEST_F(SnapshotTest, DatasetShapeAndLabels) {
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  const auto sensors = sensing::full_observation(net_);
+  const auto data = batch.build_dataset(scenarios_, sensors, 0, {}, 42);
+  EXPECT_EQ(data.num_samples(), scenarios_.size());
+  EXPECT_EQ(data.num_features(), sensors.size() + 1);
+  EXPECT_EQ(data.num_labels(), LabelSpace(net_).num_labels());
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    EXPECT_EQ(data.labels[i], scenarios_[i].truth);
+  }
+  EXPECT_EQ(data.feature_names.size(), data.num_features());
+}
+
+TEST_F(SnapshotTest, DatasetDeterministicGivenSeed) {
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  const auto sensors = sensing::full_observation(net_);
+  const auto a = batch.build_dataset(scenarios_, sensors, 0, {}, 42);
+  const auto b = batch.build_dataset(scenarios_, sensors, 0, {}, 42);
+  EXPECT_EQ(a.features.data(), b.features.data());
+  const auto c = batch.build_dataset(scenarios_, sensors, 0, {}, 43);
+  EXPECT_NE(a.features.data(), c.features.data());  // different noise draw
+}
+
+TEST_F(SnapshotTest, LongerElapsedStrongerTankDrawdown) {
+  // With more elapsed slots the leak has drained more and diurnal demand
+  // has moved further; the after-snapshots at n=1 and n=4 must differ.
+  const SnapshotBatch batch(net_, scenarios_, {1, 4});
+  const auto& snap = batch.snapshots(0);
+  double diff = 0.0;
+  for (std::size_t v = 0; v < net_.num_nodes(); ++v) {
+    diff += std::abs(snap.after_pressure[0][v] - snap.after_pressure[1][v]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST_F(SnapshotTest, Validation) {
+  EXPECT_THROW(SnapshotBatch(net_, scenarios_, {}), InvalidArgument);
+  EXPECT_THROW(SnapshotBatch(net_, scenarios_, {4, 1}), InvalidArgument);
+  const SnapshotBatch batch(net_, scenarios_, {1});
+  EXPECT_THROW(batch.snapshots(scenarios_.size()), InvalidArgument);
+  const auto sensors = sensing::full_observation(net_);
+  Rng rng(1);
+  EXPECT_THROW(batch.features(0, sensors, 5, {}, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqua::core

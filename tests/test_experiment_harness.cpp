@@ -1,0 +1,137 @@
+// Tests for the experiment harness itself (core/experiment.*): the
+// machinery every bench relies on. Built on one shared small context.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/aquascale.hpp"
+
+namespace aqua::core {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new hydraulics::Network(networks::make_epa_net());
+    ExperimentConfig config;
+    config.train_samples = 150;
+    config.test_samples = 30;
+    config.scenarios.min_events = 1;
+    config.scenarios.max_events = 2;
+    config.scenarios.cold_weather = true;
+    config.elapsed_slots = {1, 4};
+    config.seed = 555;
+    context_ = new ExperimentContext(*net_, config);
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete net_;
+    context_ = nullptr;
+    net_ = nullptr;
+  }
+  static hydraulics::Network* net_;
+  static ExperimentContext* context_;
+};
+
+hydraulics::Network* HarnessTest::net_ = nullptr;
+ExperimentContext* HarnessTest::context_ = nullptr;
+
+TEST_F(HarnessTest, CorpusSizesMatchConfig) {
+  EXPECT_EQ(context_->train_scenarios().size(), 150u);
+  EXPECT_EQ(context_->test_scenarios().size(), 30u);
+  EXPECT_EQ(context_->train_batch().size(), 150u);
+  EXPECT_EQ(context_->test_batch().size(), 30u);
+}
+
+TEST_F(HarnessTest, TrainAndTestScenariosDiffer) {
+  // Same generator stream, consecutive draws — the corpora must not alias.
+  const auto& train = context_->train_scenarios();
+  const auto& test = context_->test_scenarios();
+  bool any_difference = false;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    any_difference = any_difference || (test[i].truth != train[i].truth);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(HarnessTest, SensorCountFollowsPercentage) {
+  EXPECT_EQ(context_->sensors_at(100.0).size(),
+            net_->num_nodes() + net_->num_links());
+  EXPECT_EQ(context_->sensors_at(10.0).size(), sensing::sensors_for_percentage(*net_, 10.0));
+}
+
+TEST_F(HarnessTest, ElapsedIndexSelectsDifferentFeatures) {
+  EvalOptions options;
+  options.kind = ModelKind::kLogisticR;
+  options.iot_percent = 50.0;
+  options.elapsed_index = 0;
+  const auto near = context_->evaluate(options);
+  options.elapsed_index = 1;
+  const auto far = context_->evaluate(options);
+  // Different feature windows must at least produce a result; scores are
+  // config-dependent but both should be valid probabilistic outcomes.
+  EXPECT_GE(near.hamming, 0.0);
+  EXPECT_LE(near.hamming, 1.0);
+  EXPECT_GE(far.hamming, 0.0);
+  EXPECT_LE(far.hamming, 1.0);
+}
+
+TEST_F(HarnessTest, ElapsedIndexOutOfRangeThrows) {
+  EvalOptions options;
+  options.elapsed_index = 7;
+  EXPECT_THROW(context_->train(options), InvalidArgument);
+}
+
+TEST_F(HarnessTest, LiteralWeatherParameterizationIsMoreAggressive) {
+  EvalOptions options;
+  options.kind = ModelKind::kLogisticR;
+  options.iot_percent = 50.0;
+  options.use_weather = true;
+  const auto profile = context_->train(options);
+
+  options.calibrated_weather = true;
+  const auto calibrated = context_->evaluate_profile(profile, options);
+  options.calibrated_weather = false;  // the paper's literal 0.9
+  const auto literal = context_->evaluate_profile(profile, options);
+  // The literal x9-odds update must flag at least as many nodes (it can
+  // only push probabilities up harder), so recall can't go down.
+  EXPECT_GE(literal.prf.recall, calibrated.prf.recall - 1e-9);
+  // And precision suffers for it on cold scenarios with 80% frozen nodes.
+  EXPECT_LE(literal.prf.precision, calibrated.prf.precision + 1e-9);
+}
+
+TEST_F(HarnessTest, IncrementIsFusedMinusBase) {
+  EvalOptions options;
+  options.kind = ModelKind::kLogisticR;
+  options.iot_percent = 30.0;
+  options.use_human = true;
+  const auto result = context_->evaluate(options);
+  EXPECT_NEAR(result.increment(), result.hamming - result.hamming_iot_only, 1e-12);
+}
+
+TEST_F(HarnessTest, EvaluateProfileRequiresTrainedModel) {
+  ProfileModel empty;
+  EvalOptions options;
+  EXPECT_THROW(context_->evaluate_profile(empty, options), InvalidArgument);
+}
+
+TEST_F(HarnessTest, ModelKindNamesAreUniqueAndComplete) {
+  const auto kinds = all_model_kinds();
+  EXPECT_EQ(kinds.size(), 6u);
+  std::set<std::string> names;
+  for (const auto kind : kinds) names.insert(model_kind_name(kind));
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(model_kind_name(ModelKind::kHybridRsl), "HybridRSL");
+}
+
+TEST_F(HarnessTest, FactoriesProduceMatchingNames) {
+  for (const auto kind : all_model_kinds()) {
+    const auto classifier = make_classifier_factory(kind)();
+    EXPECT_EQ(classifier->name(), model_kind_name(kind));
+  }
+}
+
+}  // namespace
+}  // namespace aqua::core

@@ -1,0 +1,162 @@
+#include "fusion/beliefs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aqua::fusion {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(BinaryEntropy, ShapeAndExtremes) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_NEAR(binary_entropy(0.5), std::log(2.0), 1e-12);
+  EXPECT_GT(binary_entropy(0.5), binary_entropy(0.3));
+  EXPECT_NEAR(binary_entropy(0.2), binary_entropy(0.8), 1e-12);  // symmetric
+  EXPECT_THROW(binary_entropy(1.5), InvalidArgument);
+}
+
+TEST(Beliefs, PredictedSetThresholdsAtHalf) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.1, 0.5, 0.51, 0.9};
+  EXPECT_EQ(beliefs.predicted_set(), (std::vector<std::uint8_t>{0, 0, 1, 1}));
+}
+
+TEST(Beliefs, TotalEntropySums) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.5, 0.5, 1.0};
+  EXPECT_NEAR(beliefs.total_entropy(), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(WeatherUpdate, RaisesFrozenNodeBeliefs) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.4, 0.4};
+  const std::vector<std::uint8_t> frozen{1, 0};
+  const std::size_t updated = apply_weather_update(beliefs, frozen, 0.9);
+  EXPECT_EQ(updated, 1u);
+  EXPECT_GT(beliefs.p_leak[0], 0.4);   // Bayes-boosted
+  EXPECT_DOUBLE_EQ(beliefs.p_leak[1], 0.4);  // untouched
+  // Odds: 0.4/0.6 * 0.9/0.1 = 6 -> p = 6/7.
+  EXPECT_NEAR(beliefs.p_leak[0], 6.0 / 7.0, 1e-9);
+}
+
+TEST(WeatherUpdate, LowIotBeliefCanStayBelowHalf) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.01};
+  apply_weather_update(beliefs, {1}, 0.9);
+  // Odds 0.0101 * 9 = 0.0909 -> p ~ 0.083: weather alone cannot force a
+  // detection when the IoT evidence is strongly against it.
+  EXPECT_LT(beliefs.p_leak[0], 0.5);
+}
+
+TEST(WeatherUpdate, Validation) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.5};
+  EXPECT_THROW(apply_weather_update(beliefs, {1, 0}, 0.9), InvalidArgument);
+  EXPECT_THROW(apply_weather_update(beliefs, {1}, 1.0), InvalidArgument);
+}
+
+TEST(HigherOrderPotential, ZeroWhenMemberPredicted) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.9, 0.1};
+  const LabelClique clique{{0, 1}, 1.0};
+  EXPECT_DOUBLE_EQ(higher_order_potential(beliefs, clique, 0.0), 0.0);
+}
+
+TEST(HigherOrderPotential, InfiniteWhenInconsistent) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.2, 0.3};  // nobody predicted, entropies > 0
+  const LabelClique clique{{0, 1}, 1.0};
+  EXPECT_EQ(higher_order_potential(beliefs, clique, 0.0), kInf);
+}
+
+TEST(HigherOrderPotential, ZeroWhenAllDeterminate) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.0, 0.0};  // entropy exactly 0
+  const LabelClique clique{{0, 1}, 1.0};
+  // Fully determinate non-leaks satisfy the Gamma branch of Eq. 10 even at
+  // Gamma = 0 (H <= Gamma; see beliefs.cpp for why "<=" replaces the
+  // paper's strict "<").
+  EXPECT_DOUBLE_EQ(higher_order_potential(beliefs, clique, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(higher_order_potential(beliefs, clique, 0.0), 0.0);
+  // A member with nonzero entropy keeps the clique inconsistent.
+  beliefs.p_leak = {0.0, 0.3};
+  EXPECT_EQ(higher_order_potential(beliefs, clique, 0.0), kInf);
+}
+
+TEST(TotalEnergy, InfiniteUntilTuned) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.3, 0.4};
+  const std::vector<LabelClique> cliques{{{0, 1}, 1.0}};
+  EXPECT_EQ(total_energy(beliefs, cliques, 0.0), kInf);
+  const auto result = apply_human_tuning(beliefs, cliques, 0.0);
+  EXPECT_EQ(result.added_labels.size(), 1u);
+  EXPECT_TRUE(std::isfinite(total_energy(beliefs, cliques, 0.0)));
+}
+
+TEST(HumanTuning, SelectsHighestEntropyMember) {
+  Beliefs beliefs;
+  // Entropy maximal at p = 0.5, so label 1 is the most uncertain.
+  beliefs.p_leak = {0.1, 0.45, 0.2};
+  const std::vector<LabelClique> cliques{{{0, 1, 2}, 1.0}};
+  const auto result = apply_human_tuning(beliefs, cliques, 0.0);
+  ASSERT_EQ(result.added_labels.size(), 1u);
+  EXPECT_EQ(result.added_labels[0], 1u);
+  EXPECT_DOUBLE_EQ(beliefs.p_leak[1], 1.0);
+  EXPECT_DOUBLE_EQ(beliefs.entropy(1), 0.0);
+}
+
+TEST(HumanTuning, ConsistentCliqueUntouched) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.9, 0.2};
+  const std::vector<LabelClique> cliques{{{0, 1}, 1.0}};
+  const auto result = apply_human_tuning(beliefs, cliques, 0.0);
+  EXPECT_EQ(result.cliques_consistent, 1u);
+  EXPECT_TRUE(result.added_labels.empty());
+  EXPECT_DOUBLE_EQ(beliefs.p_leak[1], 0.2);
+}
+
+TEST(HumanTuning, GammaThresholdSuppressesDeterminateCliques) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.001, 0.002};  // near-certain non-leaks, tiny entropy
+  const std::vector<LabelClique> cliques{{{0, 1}, 1.0}};
+  // Large Gamma: predictions are determinate enough to ignore the tweet.
+  const auto result = apply_human_tuning(beliefs, cliques, 0.5);
+  EXPECT_EQ(result.cliques_determinate, 1u);
+  EXPECT_TRUE(result.added_labels.empty());
+}
+
+TEST(HumanTuning, TuningReducesEnergy) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.3, 0.4, 0.2, 0.45};
+  const std::vector<LabelClique> cliques{{{0, 1}, 1.0}, {{2, 3}, 1.0}};
+  const double before = total_energy(beliefs, cliques, 0.0);
+  apply_human_tuning(beliefs, cliques, 0.0);
+  const double after = total_energy(beliefs, cliques, 0.0);
+  EXPECT_TRUE(before == kInf || after <= before);
+  EXPECT_LT(after, kInf);
+}
+
+TEST(HumanTuning, MultipleCliquesEachHandled) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.3, 0.9, 0.4};
+  const std::vector<LabelClique> cliques{{{0}, 1.0}, {{1}, 1.0}, {{2}, 1.0}};
+  const auto result = apply_human_tuning(beliefs, cliques, 0.0);
+  EXPECT_EQ(result.cliques_consistent, 1u);          // label 1 already predicted
+  EXPECT_EQ(result.added_labels.size(), 2u);         // labels 0 and 2 forced
+}
+
+TEST(HumanTuning, EmptyCliqueRejected) {
+  Beliefs beliefs;
+  beliefs.p_leak = {0.5};
+  const std::vector<LabelClique> cliques{{{}, 1.0}};
+  EXPECT_THROW(apply_human_tuning(beliefs, cliques, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqua::fusion

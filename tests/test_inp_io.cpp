@@ -1,0 +1,114 @@
+#include "hydraulics/inp_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "networks/builtin.hpp"
+
+namespace aqua::hydraulics {
+namespace {
+
+Network sample() {
+  Network net("sample net");
+  const int p = net.add_pattern({"0", {0.5, 1.5}});
+  const NodeId r = net.add_reservoir("R", 60.0, -10.0, -20.0);
+  const NodeId t = net.add_tank("T", 40.0, 3.0, 1.0, 6.0, 12.0, 5.0, 5.0);
+  const NodeId a = net.add_junction("A", 10.0, 2.0, p, 0.0, 0.0);
+  const NodeId b = net.add_junction("B", 12.0, 1.5, -1, 100.0, 0.0);
+  net.add_pipe("P1", r, a, 200.0, 0.4, 130.0);
+  net.add_pipe("P2", a, b, 150.0, 0.25, 110.0, LinkStatus::kClosed);
+  net.add_pipe("P3", b, t, 120.0, 0.3, 120.0);
+  net.add_pump("PU", r, b, PumpCurve{55.0, 900.0, 2.0});
+  net.add_valve("V", a, b, 0.25, 3.0);
+  net.set_emitter(a, 0.0025, 0.5);
+  return net;
+}
+
+TEST(InpIo, RoundTripPreservesStructure) {
+  const Network original = sample();
+  const Network parsed = from_inp(to_inp(original));
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.num_links(), original.num_links());
+  EXPECT_EQ(parsed.num_patterns(), original.num_patterns());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    const Node& a = original.node(v);
+    const Node& b = parsed.node(parsed.node_id(a.name));
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_NEAR(a.elevation, b.elevation, 1e-9);
+    EXPECT_NEAR(a.base_demand, b.base_demand, 1e-12);
+    EXPECT_EQ(a.demand_pattern, b.demand_pattern);
+    EXPECT_NEAR(a.emitter_coefficient, b.emitter_coefficient, 1e-12);
+    EXPECT_NEAR(a.x, b.x, 1e-9);
+    EXPECT_NEAR(a.y, b.y, 1e-9);
+  }
+  for (LinkId l = 0; l < original.num_links(); ++l) {
+    const Link& a = original.link(l);
+    const Link& b = parsed.link(parsed.link_id(a.name));
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_NEAR(a.length, b.length, 1e-9);
+    EXPECT_NEAR(a.diameter, b.diameter, 1e-9);
+  }
+}
+
+TEST(InpIo, RoundTripIsIdempotentAfterNormalization) {
+  // The first round trip normalizes node insertion order (section order);
+  // from then on the text representation is a fixed point.
+  const Network original = sample();
+  const std::string once = to_inp(from_inp(to_inp(original)));
+  const std::string twice = to_inp(from_inp(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(InpIo, TankFieldsSurvive) {
+  const Network parsed = from_inp(to_inp(sample()));
+  const Node& t = parsed.node(parsed.node_id("T"));
+  EXPECT_DOUBLE_EQ(t.init_level, 3.0);
+  EXPECT_DOUBLE_EQ(t.min_level, 1.0);
+  EXPECT_DOUBLE_EQ(t.max_level, 6.0);
+  EXPECT_DOUBLE_EQ(t.diameter, 12.0);
+}
+
+TEST(InpIo, PumpCurveSurvives) {
+  const Network parsed = from_inp(to_inp(sample()));
+  const Link& pu = parsed.link(parsed.link_id("PU"));
+  EXPECT_DOUBLE_EQ(pu.pump.shutoff_head, 55.0);
+  EXPECT_DOUBLE_EQ(pu.pump.coefficient, 900.0);
+}
+
+TEST(InpIo, PatternsSurvive) {
+  const Network parsed = from_inp(to_inp(sample()));
+  ASSERT_EQ(parsed.num_patterns(), 1u);
+  EXPECT_EQ(parsed.pattern(0).multipliers, (std::vector<double>{0.5, 1.5}));
+}
+
+TEST(InpIo, CommentsAndBlankLinesIgnored) {
+  const Network net = from_inp(
+      "[TITLE]\nt\n\n[JUNCTIONS]\n; a comment line\nA 5.0 1.0 -1 ; trailing\n\n"
+      "[RESERVOIRS]\nR 50.0\n[PIPES]\nP R A 100 0.3 120 OPEN\n[COORDINATES]\nA 1 2\nR 0 0\n");
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(net.node(net.node_id("A")).x, 1.0);
+}
+
+TEST(InpIo, MalformedRowsRejected) {
+  EXPECT_THROW(from_inp("[JUNCTIONS]\nA 5.0\n"), InvalidArgument);       // arity
+  EXPECT_THROW(from_inp("[JUNCTIONS]\nA five 1.0 -1\n"), InvalidArgument);  // bad number
+  EXPECT_THROW(from_inp("stray content\n"), InvalidArgument);            // no section
+}
+
+TEST(InpIo, UnknownNodeReferenceRejected) {
+  EXPECT_THROW(from_inp("[RESERVOIRS]\nR 50\n[PIPES]\nP R MISSING 100 0.3 120 OPEN\n"), NotFound);
+}
+
+TEST(InpIo, BuiltinNetworksRoundTrip) {
+  for (const auto& original : {networks::make_epa_net(), networks::make_wssc_subnet()}) {
+    const Network parsed = from_inp(to_inp(original));
+    EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+    EXPECT_EQ(parsed.num_links(), original.num_links());
+    EXPECT_NO_THROW(parsed.validate());
+  }
+}
+
+}  // namespace
+}  // namespace aqua::hydraulics

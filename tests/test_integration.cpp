@@ -1,0 +1,124 @@
+// Integration tests asserting the qualitative *shapes* the paper reports,
+// at reduced scenario counts so the suite stays fast:
+//  - more IoT coverage -> higher Hamming score (Figs. 6-8)
+//  - fusing weather + human input does not hurt, and helps at low IoT
+//    (Figs. 7c, 8c)
+//  - profile inference is orders of magnitude faster than the
+//    enumeration-search baseline (the headline detection-time claim)
+#include <gtest/gtest.h>
+
+#include "core/aquascale.hpp"
+
+namespace aqua::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new hydraulics::Network(networks::make_epa_net());
+    ExperimentConfig config;
+    config.train_samples = 300;
+    config.test_samples = 60;
+    config.scenarios.min_events = 1;
+    config.scenarios.max_events = 3;
+    config.scenarios.cold_weather = true;
+    config.elapsed_slots = {1};
+    config.seed = 2024;
+    context_ = new ExperimentContext(*net_, config);
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete net_;
+    context_ = nullptr;
+    net_ = nullptr;
+  }
+
+  static hydraulics::Network* net_;
+  static ExperimentContext* context_;
+};
+
+hydraulics::Network* IntegrationTest::net_ = nullptr;
+ExperimentContext* IntegrationTest::context_ = nullptr;
+
+TEST_F(IntegrationTest, MoreIotImprovesScore) {
+  EvalOptions low;
+  low.kind = ModelKind::kLogisticR;
+  low.iot_percent = 10.0;
+  EvalOptions high = low;
+  high.iot_percent = 100.0;
+  const auto r_low = context_->evaluate(low);
+  const auto r_high = context_->evaluate(high);
+  EXPECT_GT(r_high.hamming, r_low.hamming + 0.1);
+}
+
+TEST_F(IntegrationTest, FusionHelpsAtLowIot) {
+  EvalOptions options;
+  options.kind = ModelKind::kRandomForest;
+  options.iot_percent = 15.0;
+  const auto profile = context_->train(options);
+  const auto base = context_->evaluate_profile(profile, options);
+  options.use_weather = true;
+  options.use_human = true;
+  const auto fused = context_->evaluate_profile(profile, options);
+  EXPECT_GT(fused.hamming, base.hamming);
+}
+
+TEST_F(IntegrationTest, HumanInputImprovesRecall) {
+  EvalOptions options;
+  options.kind = ModelKind::kRandomForest;
+  options.iot_percent = 15.0;
+  const auto profile = context_->train(options);
+  const auto base = context_->evaluate_profile(profile, options);
+  options.use_human = true;
+  const auto fused = context_->evaluate_profile(profile, options);
+  EXPECT_GE(fused.prf.recall, base.prf.recall);
+}
+
+TEST_F(IntegrationTest, ProfileInferenceIsFasterThanEnumeration) {
+  EvalOptions options;
+  options.kind = ModelKind::kLogisticR;
+  options.iot_percent = 100.0;
+  const auto profile = context_->train(options);
+  const auto result = context_->evaluate_profile(profile, options);
+
+  // One enumeration run over the same network.
+  EnumerationConfig enum_config;
+  enum_config.candidate_ecs = {0.004};
+  enum_config.max_leaks = 2;
+  const EnumerationLocalizer localizer(*net_, profile.sensors, enum_config);
+  Rng rng(5);
+  const auto features = context_->test_batch().features(0, profile.sensors, 0, profile.noise,
+                                                        rng, /*include_time_feature=*/false);
+  const auto outcome = localizer.localize(features, 0, 0);
+  // Orders of magnitude: enumeration does hundreds of hydraulic solves,
+  // profile inference is a pure model evaluation.
+  EXPECT_GT(outcome.seconds, 20.0 * result.mean_infer_seconds);
+}
+
+TEST_F(IntegrationTest, TrainedProfilesAreDeterministic) {
+  EvalOptions options;
+  options.kind = ModelKind::kLogisticR;
+  options.iot_percent = 40.0;
+  const auto a = context_->evaluate(options);
+  const auto b = context_->evaluate(options);
+  EXPECT_DOUBLE_EQ(a.hamming, b.hamming);
+}
+
+TEST_F(IntegrationTest, SensorCacheReturnsSameSet) {
+  const auto& a = context_->sensors_at(25.0);
+  const auto& b = context_->sensors_at(25.0);
+  EXPECT_EQ(&a, &b);  // cached object identity
+  EXPECT_EQ(a.size(), sensing::sensors_for_percentage(*net_, 25.0));
+}
+
+TEST_F(IntegrationTest, RandomPlacementAblationRuns) {
+  EvalOptions options;
+  options.kind = ModelKind::kLogisticR;
+  options.iot_percent = 20.0;
+  options.kmedoids_placement = false;
+  const auto result = context_->evaluate(options);
+  EXPECT_GT(result.hamming, 0.0);
+}
+
+}  // namespace
+}  // namespace aqua::core

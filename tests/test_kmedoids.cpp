@@ -1,0 +1,102 @@
+#include "graph/kmedoids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace aqua::graph {
+namespace {
+
+std::vector<std::vector<double>> three_blobs() {
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  aqua::Rng rng(77);
+  for (const auto& center : centers) {
+    for (int i = 0; i < 20; ++i) {
+      points.push_back({center[0] + rng.normal(0.0, 0.4), center[1] + rng.normal(0.0, 0.4)});
+    }
+  }
+  return points;
+}
+
+TEST(KMedoids, SeparatesWellSeparatedBlobs) {
+  const auto points = three_blobs();
+  const auto result = kmedoids(points, 3);
+  ASSERT_EQ(result.medoids.size(), 3u);
+  // Each blob of 20 points should map to one cluster.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<std::size_t> clusters;
+    for (int i = 0; i < 20; ++i) clusters.insert(result.assignment[blob * 20 + i]);
+    EXPECT_EQ(clusters.size(), 1u) << "blob " << blob << " split across clusters";
+  }
+}
+
+TEST(KMedoids, MedoidsAreDataPoints) {
+  const auto points = three_blobs();
+  const auto result = kmedoids(points, 3);
+  for (std::size_t m : result.medoids) EXPECT_LT(m, points.size());
+}
+
+TEST(KMedoids, MedoidsAreDistinct) {
+  const auto points = three_blobs();
+  const auto result = kmedoids(points, 3);
+  std::set<std::size_t> unique(result.medoids.begin(), result.medoids.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(KMedoids, DeterministicGivenSeed) {
+  const auto points = three_blobs();
+  KMedoidsOptions options;
+  options.seed = 5;
+  const auto a = kmedoids(points, 3, options);
+  const auto b = kmedoids(points, 3, options);
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMedoids, KEqualsNIsZeroCost) {
+  std::vector<std::vector<double>> points{{0.0}, {1.0}, {2.0}};
+  const auto result = kmedoids(points, 3);
+  EXPECT_NEAR(result.total_cost, 0.0, 1e-12);
+}
+
+TEST(KMedoids, KOneUsesCentralMedoid) {
+  std::vector<std::vector<double>> points{{0.0}, {1.0}, {2.0}, {100.0}};
+  const auto result = kmedoids(points, 1);
+  ASSERT_EQ(result.medoids.size(), 1u);
+  // The 1-medoid minimizes total distance: point {2} (cost 3+2+98=103)
+  // beats {1} (1+1+99=101)? compute: medoid {1}: 1+0+1+99=101; {2}: 2+1+0+98=101;
+  // {0}: 0+1+2+100=103; {100}: 100+99+98=297. Either {1} or {2} is optimal.
+  const double m = points[result.medoids[0]][0];
+  EXPECT_TRUE(m == 1.0 || m == 2.0);
+}
+
+TEST(KMedoids, RejectsBadK) {
+  std::vector<std::vector<double>> points{{0.0}, {1.0}};
+  EXPECT_THROW(kmedoids(points, 0), InvalidArgument);
+  EXPECT_THROW(kmedoids(points, 3), InvalidArgument);
+}
+
+TEST(KMedoids, RejectsRaggedPoints) {
+  std::vector<std::vector<double>> points{{0.0, 1.0}, {1.0}};
+  EXPECT_THROW(kmedoids(points, 1), InvalidArgument);
+}
+
+TEST(KMedoids, HandlesDuplicatePoints) {
+  std::vector<std::vector<double>> points(10, std::vector<double>{1.0, 1.0});
+  const auto result = kmedoids(points, 3);
+  EXPECT_EQ(result.medoids.size(), 3u);
+  EXPECT_NEAR(result.total_cost, 0.0, 1e-12);
+}
+
+TEST(KMedoids, CostDecreasesWithMoreClusters) {
+  const auto points = three_blobs();
+  const double c1 = kmedoids(points, 1).total_cost;
+  const double c3 = kmedoids(points, 3).total_cost;
+  EXPECT_LT(c3, c1);
+}
+
+}  // namespace
+}  // namespace aqua::graph

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/hybrid_rsl.hpp"
+#include "ml/linear_models.hpp"
+#include "ml/metrics.hpp"
+#include "ml/multilabel.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svm.hpp"
+
+namespace aqua::ml {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<std::unique_ptr<BinaryClassifier>()> factory;
+};
+
+std::vector<ModelCase> all_models() {
+  return {
+      {"LinearR", [] { return std::make_unique<LinearRegressionClassifier>(); }},
+      {"LogisticR", [] { return std::make_unique<LogisticRegressionClassifier>(); }},
+      {"GB", [] { return std::make_unique<GradientBoostingClassifier>(); }},
+      {"RF", [] { return std::make_unique<RandomForestClassifier>(); }},
+      {"SVM", [] { return std::make_unique<SvmClassifier>(); }},
+      {"HybridRSL", [] { return std::make_unique<HybridRslClassifier>(); }},
+  };
+}
+
+/// Linearly separable blobs with a margin.
+std::pair<Matrix, Labels> blobs(std::size_t n, Rng& rng) {
+  Matrix x(n, 4);
+  Labels y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.bernoulli(0.5);
+    const double cx = positive ? 1.5 : -1.5;
+    x(i, 0) = cx + rng.normal(0.0, 0.5);
+    x(i, 1) = -cx + rng.normal(0.0, 0.5);
+    x(i, 2) = rng.normal(0.0, 1.0);  // noise features
+    x(i, 3) = rng.normal(0.0, 1.0);
+    y[i] = positive ? 1 : 0;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+/// Imbalanced data mimicking per-node leak labels (~5% positives).
+std::pair<Matrix, Labels> imbalanced(std::size_t n, Rng& rng) {
+  Matrix x(n, 4);
+  Labels y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.bernoulli(0.05);
+    x(i, 0) = (positive ? 2.0 : 0.0) + rng.normal(0.0, 0.6);
+    x(i, 1) = rng.normal(0.0, 1.0);
+    x(i, 2) = rng.normal(0.0, 1.0);
+    x(i, 3) = (positive ? -1.5 : 0.0) + rng.normal(0.0, 0.6);
+    y[i] = positive ? 1 : 0;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+class EveryModel : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(EveryModel, SeparatesBlobs) {
+  Rng rng(11);
+  const auto [x, y] = blobs(400, rng);
+  auto model = GetParam().factory();
+  model->fit(x, y);
+  Rng test_rng(12);
+  const auto [tx, ty] = blobs(200, test_rng);
+  Labels pred(ty.size());
+  for (std::size_t i = 0; i < tx.rows(); ++i) pred[i] = model->predict(tx.row(i)) ? 1 : 0;
+  EXPECT_GT(binary_accuracy(pred, ty), 0.9) << GetParam().name;
+}
+
+TEST_P(EveryModel, ProbabilitiesAreValid) {
+  Rng rng(13);
+  const auto [x, y] = blobs(300, rng);
+  auto model = GetParam().factory();
+  model->fit(x, y);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double p = model->predict_proba(x.row(i));
+    EXPECT_GE(p, 0.0) << GetParam().name;
+    EXPECT_LE(p, 1.0) << GetParam().name;
+  }
+}
+
+TEST_P(EveryModel, ProbabilitiesAreDiscriminative) {
+  Rng rng(14);
+  const auto [x, y] = blobs(400, rng);
+  auto model = GetParam().factory();
+  model->fit(x, y);
+  double mean_pos = 0.0, mean_neg = 0.0;
+  std::size_t n_pos = 0, n_neg = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double p = model->predict_proba(x.row(i));
+    if (y[i] != 0) {
+      mean_pos += p;
+      ++n_pos;
+    } else {
+      mean_neg += p;
+      ++n_neg;
+    }
+  }
+  EXPECT_GT(mean_pos / static_cast<double>(n_pos), mean_neg / static_cast<double>(n_neg) + 0.3)
+      << GetParam().name;
+}
+
+TEST_P(EveryModel, HandlesSingleClassDegenerately) {
+  Matrix x(20, 2, 1.0);
+  auto model = GetParam().factory();
+  model->fit(x, Labels(20, 0));
+  std::vector<double> probe{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(model->predict_proba(probe), 0.0) << GetParam().name;
+  auto model_pos = GetParam().factory();
+  model_pos->fit(x, Labels(20, 1));
+  EXPECT_DOUBLE_EQ(model_pos->predict_proba(probe), 1.0) << GetParam().name;
+}
+
+TEST_P(EveryModel, RecallsRarePositives) {
+  Rng rng(15);
+  const auto [x, y] = imbalanced(1500, rng);
+  auto model = GetParam().factory();
+  model->fit(x, y);
+  Rng test_rng(16);
+  const auto [tx, ty] = imbalanced(800, test_rng);
+  std::size_t tp = 0, fn = 0;
+  for (std::size_t i = 0; i < tx.rows(); ++i) {
+    if (ty[i] == 0) continue;
+    if (model->predict(tx.row(i))) {
+      ++tp;
+    } else {
+      ++fn;
+    }
+  }
+  ASSERT_GT(tp + fn, 10u);
+  // Balanced class weighting should keep recall well above the ~0 a naive
+  // unweighted fit gives at 5% prevalence.
+  EXPECT_GT(static_cast<double>(tp) / static_cast<double>(tp + fn), 0.6) << GetParam().name;
+}
+
+TEST_P(EveryModel, DeterministicAcrossRuns) {
+  Rng rng(17);
+  const auto [x, y] = blobs(200, rng);
+  auto a = GetParam().factory();
+  auto b = GetParam().factory();
+  a->fit(x, y);
+  b->fit(x, y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a->predict_proba(x.row(i)), b->predict_proba(x.row(i))) << GetParam().name;
+  }
+}
+
+TEST_P(EveryModel, CloneConfigProducesTrainableCopy) {
+  Rng rng(18);
+  const auto [x, y] = blobs(200, rng);
+  auto original = GetParam().factory();
+  auto clone = original->clone_config();
+  clone->fit(x, y);
+  Labels pred(y.size());
+  for (std::size_t i = 0; i < x.rows(); ++i) pred[i] = clone->predict(x.row(i)) ? 1 : 0;
+  EXPECT_GT(binary_accuracy(pred, y), 0.85) << GetParam().name;
+  EXPECT_EQ(clone->name(), original->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, EveryModel, ::testing::ValuesIn(all_models()),
+                         [](const ::testing::TestParamInfo<ModelCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(HybridRsl, UsesBothBaseLearners) {
+  Rng rng(19);
+  const auto [x, y] = blobs(300, rng);
+  HybridRslClassifier hybrid;
+  hybrid.fit(x, y);
+  // Base learners must themselves be fitted and sane.
+  EXPECT_GT(hybrid.forest().num_trees(), 0u);
+  const double p_pos = hybrid.predict_proba(x.row(0));
+  EXPECT_GE(p_pos, 0.0);
+  EXPECT_LE(p_pos, 1.0);
+}
+
+TEST(Svm, DecisionValueSeparatesClasses) {
+  Rng rng(20);
+  const auto [x, y] = blobs(300, rng);
+  SvmClassifier svm;
+  svm.fit(x, y);
+  double mean_pos = 0.0, mean_neg = 0.0;
+  std::size_t np = 0, nn = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double d = svm.decision_value(x.row(i));
+    if (y[i] != 0) {
+      mean_pos += d;
+      ++np;
+    } else {
+      mean_neg += d;
+      ++nn;
+    }
+  }
+  EXPECT_GT(mean_pos / static_cast<double>(np), mean_neg / static_cast<double>(nn));
+}
+
+TEST(Svm, LinearModeWorksToo) {
+  SvmConfig config;
+  config.rff_dimension = 0;  // plain linear SVM
+  Rng rng(21);
+  const auto [x, y] = blobs(300, rng);
+  SvmClassifier svm(config);
+  svm.fit(x, y);
+  Labels pred(y.size());
+  for (std::size_t i = 0; i < x.rows(); ++i) pred[i] = svm.predict(x.row(i)) ? 1 : 0;
+  EXPECT_GT(binary_accuracy(pred, y), 0.9);
+}
+
+TEST(Sigmoid, NumericallyStable) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(sigmoid(2.0) + sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(BalancedWeights, EqualizeClassMass) {
+  const Labels y{1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  const auto [w_neg, w_pos] = balanced_class_weights(y);
+  EXPECT_NEAR(w_pos * 1.0, w_neg * 9.0, 1e-12);
+  EXPECT_NEAR((w_pos * 1.0 + w_neg * 9.0) / 10.0, 1.0, 1e-12);
+}
+
+TEST(BalancedWeights, SingleClassIsUnit) {
+  const auto [w_neg, w_pos] = balanced_class_weights(Labels{0, 0, 0});
+  EXPECT_DOUBLE_EQ(w_neg, 1.0);
+  EXPECT_DOUBLE_EQ(w_pos, 1.0);
+}
+
+TEST(MultiLabel, TrainsPerLabelClassifiers) {
+  Rng rng(22);
+  MultiLabelDataset data;
+  const std::size_t n = 300;
+  data.features = Matrix(n, 2);
+  data.labels.assign(n, Labels(2, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    data.features(i, 0) = rng.uniform(-1.0, 1.0);
+    data.features(i, 1) = rng.uniform(-1.0, 1.0);
+    data.labels[i][0] = data.features(i, 0) > 0.0;
+    data.labels[i][1] = data.features(i, 1) > 0.0;
+  }
+  MultiLabelModel model([] { return std::make_unique<LogisticRegressionClassifier>(); });
+  model.fit(data);
+  ASSERT_TRUE(model.fitted());
+  EXPECT_EQ(model.num_labels(), 2u);
+  const std::vector<double> probe{0.8, -0.8};
+  const Labels pred = model.predict(probe);
+  EXPECT_EQ(pred[0], 1);
+  EXPECT_EQ(pred[1], 0);
+  const auto probabilities = model.predict_proba(probe);
+  EXPECT_GT(probabilities[0], 0.5);
+  EXPECT_LT(probabilities[1], 0.5);
+}
+
+TEST(MultiLabel, BatchMatchesSingle) {
+  Rng rng(23);
+  MultiLabelDataset data;
+  data.features = Matrix(100, 2);
+  data.labels.assign(100, Labels(1, 0));
+  for (std::size_t i = 0; i < 100; ++i) {
+    data.features(i, 0) = rng.uniform(-1.0, 1.0);
+    data.features(i, 1) = rng.uniform(-1.0, 1.0);
+    data.labels[i][0] = data.features(i, 0) > 0.2;
+  }
+  MultiLabelModel model([] { return std::make_unique<LinearRegressionClassifier>(); });
+  model.fit(data);
+  const auto batch = model.predict_batch(data.features, false);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch[i], model.predict(data.features.row(i)));
+  }
+}
+
+TEST(MultiLabel, RequiresFactoryAndData) {
+  MultiLabelModel unset;
+  MultiLabelDataset data;
+  data.features = Matrix(2, 1, 1.0);
+  data.labels.assign(2, Labels(1, 0));
+  EXPECT_THROW(unset.fit(data), InvalidArgument);
+  MultiLabelModel model([] { return std::make_unique<LinearRegressionClassifier>(); });
+  std::vector<double> probe{1.0};
+  EXPECT_THROW(model.predict(probe), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqua::ml

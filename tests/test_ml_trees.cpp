@@ -1,0 +1,178 @@
+#include "ml/binning.hpp"
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aqua::ml {
+namespace {
+
+/// Step-function data: y = 1 iff x0 > 0.5.
+std::pair<linalg::Matrix, std::vector<double>> step_data(std::size_t n, Rng& rng) {
+  linalg::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.uniform();
+    y[i] = x(i, 0) > 0.5 ? 1.0 : 0.0;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(RegressionTree, LearnsStepFunction) {
+  Rng rng(1);
+  const auto [x, y] = step_data(500, rng);
+  RegressionTree tree;
+  tree.fit(x, y);
+  Rng test_rng(2);
+  const auto [tx, ty] = step_data(200, test_rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    correct += ((tree.predict(tx.row(i)) > 0.5) == (ty[i] > 0.5));
+  }
+  EXPECT_GT(correct, 195);
+}
+
+TEST(RegressionTree, BinnedLearnsStepFunction) {
+  Rng rng(3);
+  const auto [x, y] = step_data(500, rng);
+  FeatureBinning binning;
+  binning.fit(x);
+  RegressionTree tree;
+  tree.fit_binned(binning, y);
+  Rng test_rng(4);
+  const auto [tx, ty] = step_data(200, test_rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    correct += ((tree.predict(tx.row(i)) > 0.5) == (ty[i] > 0.5));
+  }
+  EXPECT_GT(correct, 190);
+}
+
+TEST(RegressionTree, ExactAndBinnedAgreeOnPredictions) {
+  Rng rng(5);
+  const auto [x, y] = step_data(400, rng);
+  RegressionTree exact, binned;
+  exact.fit(x, y);
+  FeatureBinning binning;
+  binning.fit(x);
+  binned.fit_binned(binning, y);
+  int agree = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    agree += ((exact.predict(x.row(i)) > 0.5) == (binned.predict(x.row(i)) > 0.5));
+  }
+  EXPECT_GT(agree, 390);
+}
+
+TEST(RegressionTree, ConstantTargetsYieldSingleLeaf) {
+  linalg::Matrix x(10, 2, 1.0);
+  std::vector<double> y(10, 0.7);
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_NEAR(tree.predict(x.row(0)), 0.7, 1e-12);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  Rng rng(6);
+  const auto [x, y] = step_data(500, rng);
+  TreeConfig config;
+  config.max_depth = 2;
+  RegressionTree tree(config);
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 3u);  // root at depth 1 + 2 levels
+}
+
+TEST(RegressionTree, MinSamplesLeafLimitsGrowth) {
+  Rng rng(7);
+  const auto [x, y] = step_data(100, rng);
+  TreeConfig config;
+  config.min_samples_leaf = 40;
+  RegressionTree tree(config);
+  tree.fit(x, y);
+  EXPECT_LE(tree.node_count(), 5u);
+}
+
+TEST(RegressionTree, WeightsShiftLeafValues) {
+  // Two clusters of equal size; weighting one up moves the root mean.
+  linalg::Matrix x(4, 1);
+  x(0, 0) = x(1, 0) = 0.0;
+  x(2, 0) = x(3, 0) = 0.0;  // constant feature -> single leaf
+  std::vector<double> y{0.0, 0.0, 1.0, 1.0};
+  std::vector<double> w{1.0, 1.0, 3.0, 3.0};
+  RegressionTree tree;
+  tree.fit(x, y, w);
+  EXPECT_NEAR(tree.predict(x.row(0)), 0.75, 1e-12);
+}
+
+TEST(RegressionTree, HessianNewtonLeaves) {
+  linalg::Matrix x(2, 1, 0.0);
+  std::vector<double> residual{0.4, 0.4};
+  std::vector<double> hessian{0.2, 0.2};
+  RegressionTree tree;
+  tree.fit(x, residual, {}, {}, hessian);
+  EXPECT_NEAR(tree.predict(x.row(0)), 0.4 / 0.2, 1e-9);
+}
+
+TEST(RegressionTree, SampleIndicesSubsetOnly) {
+  linalg::Matrix x(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) x(i, 0) = static_cast<double>(i);
+  std::vector<double> y{0.0, 0.0, 1.0, 1.0};
+  std::vector<std::size_t> rows{0, 1};  // only the zeros
+  RegressionTree tree;
+  tree.fit(x, y, {}, rows);
+  EXPECT_NEAR(tree.predict(x.row(3)), 0.0, 1e-12);
+}
+
+TEST(RegressionTree, PredictBeforeFitThrows) {
+  RegressionTree tree;
+  std::vector<double> x{1.0};
+  EXPECT_THROW(tree.predict(x), InvalidArgument);
+}
+
+TEST(FeatureBinning, CodesAreOrderConsistent) {
+  linalg::Matrix x(100, 1);
+  Rng rng(8);
+  for (std::size_t i = 0; i < 100; ++i) x(i, 0) = rng.uniform();
+  FeatureBinning binning;
+  binning.fit(x, 16);
+  for (std::size_t i = 0; i < 99; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      if (x(i, 0) < x(j, 0)) {
+        EXPECT_LE(binning.code(i, 0), binning.code(j, 0));
+      }
+    }
+  }
+}
+
+TEST(FeatureBinning, ConstantFeatureSingleBin) {
+  linalg::Matrix x(10, 1, 3.0);
+  FeatureBinning binning;
+  binning.fit(x);
+  EXPECT_EQ(binning.bins(0), 1u);
+}
+
+TEST(FeatureBinning, BinCountBounded) {
+  linalg::Matrix x(1000, 1);
+  Rng rng(9);
+  for (std::size_t i = 0; i < 1000; ++i) x(i, 0) = rng.uniform();
+  FeatureBinning binning;
+  binning.fit(x, 32);
+  EXPECT_LE(binning.bins(0), 32u);
+  EXPECT_GT(binning.bins(0), 16u);  // plenty of distinct values
+}
+
+TEST(FeatureBinning, Validation) {
+  FeatureBinning binning;
+  linalg::Matrix empty(0, 0);
+  EXPECT_THROW(binning.fit(empty), InvalidArgument);
+  linalg::Matrix x(5, 1, 1.0);
+  EXPECT_THROW(binning.fit(x, 1), InvalidArgument);
+  EXPECT_THROW(binning.fit(x, 100), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqua::ml

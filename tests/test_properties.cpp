@@ -1,0 +1,189 @@
+// Property-style parameterized sweeps over both built-in networks and a
+// range of operating conditions: physical invariants the hydraulic
+// substrate must satisfy regardless of configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aquascale.hpp"
+
+namespace aqua::hydraulics {
+namespace {
+
+struct NetworkCase {
+  std::string name;
+  Network (*make)();
+};
+
+std::vector<NetworkCase> networks_under_test() {
+  return {{"EpaNet", networks::make_epa_net}, {"WsscSubnet", networks::make_wssc_subnet}};
+}
+
+class EveryNetwork : public ::testing::TestWithParam<NetworkCase> {};
+
+TEST_P(EveryNetwork, MassBalanceHoldsAtEveryJunction) {
+  const auto net = GetParam().make();
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  for (const NodeId v : net.junction_ids()) {
+    double net_inflow = 0.0;
+    for (LinkId l = 0; l < net.num_links(); ++l) {
+      if (net.link(l).to == v) net_inflow += state.flow[l];
+      if (net.link(l).from == v) net_inflow -= state.flow[l];
+    }
+    const double demand = net.demand_at(v, 0) + state.emitter_outflow[v];
+    EXPECT_NEAR(net_inflow, demand, 2e-4) << GetParam().name << " node " << v;
+  }
+}
+
+TEST_P(EveryNetwork, EnergyConservedAroundEveryLink) {
+  // H_from - H_to must equal the head loss implied by the link's flow.
+  const auto net = GetParam().make();
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  for (LinkId l = 0; l < net.num_links(); ++l) {
+    const Link& link = net.link(l);
+    const auto lg = link_loss(link, state.flow[l], HeadLossModel::kHazenWilliams);
+    EXPECT_NEAR(state.head[link.from] - state.head[link.to], lg.loss, 0.05)
+        << GetParam().name << " link " << link.name;
+  }
+}
+
+TEST_P(EveryNetwork, LeakAlwaysIncreasesSourceOutput) {
+  const auto healthy = GetParam().make();
+  GgaSolver healthy_solver(healthy);
+  const auto base = healthy_solver.solve_snapshot();
+  auto source_output = [&](const Network& net, const HydraulicState& state) {
+    double total = 0.0;
+    for (LinkId l = 0; l < net.num_links(); ++l) {
+      const Link& link = net.link(l);
+      if (net.node(link.from).type == NodeType::kReservoir) total += state.flow[l];
+      if (net.node(link.to).type == NodeType::kReservoir) total -= state.flow[l];
+    }
+    return total;
+  };
+  auto leaky = GetParam().make();
+  leaky.set_emitter(leaky.junction_ids()[17], 0.005);
+  GgaSolver leaky_solver(leaky);
+  const auto after = leaky_solver.solve_snapshot();
+  EXPECT_GT(source_output(leaky, after), source_output(healthy, base)) << GetParam().name;
+}
+
+TEST_P(EveryNetwork, BiggerLeakBiggerDrawdown) {
+  const auto base = GetParam().make();
+  const NodeId target = base.junction_ids()[25];
+  double previous_pressure = 1e18;
+  for (const double ec : {0.001, 0.004, 0.008}) {
+    auto net = GetParam().make();
+    net.set_emitter(target, ec);
+    GgaSolver solver(net);
+    const auto state = solver.solve_snapshot();
+    ASSERT_TRUE(state.converged) << GetParam().name << " ec " << ec;
+    EXPECT_LT(state.pressure[target], previous_pressure) << GetParam().name << " ec " << ec;
+    previous_pressure = state.pressure[target];
+  }
+}
+
+TEST_P(EveryNetwork, DemandScalingLowersPressureMonotonically) {
+  // Higher system-wide demand -> lower minimum service pressure.
+  double previous_min = 1e18;
+  for (const double scale : {0.5, 1.0, 1.6}) {
+    auto net = GetParam().make();
+    GgaSolver solver(net);
+    std::vector<double> demands(net.num_nodes(), 0.0), fixed(net.num_nodes(), 0.0);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      demands[v] = net.demand_at(v, 0) * scale;
+      const auto& node = net.node(v);
+      if (node.type == NodeType::kReservoir) fixed[v] = node.elevation;
+      if (node.type == NodeType::kTank) fixed[v] = node.elevation + node.init_level;
+    }
+    const auto state = solver.solve(demands, fixed);
+    ASSERT_TRUE(state.converged);
+    double min_pressure = 1e18;
+    for (const NodeId v : net.junction_ids()) {
+      min_pressure = std::min(min_pressure, state.pressure[v]);
+    }
+    EXPECT_LT(min_pressure, previous_min + 1e-9) << GetParam().name << " scale " << scale;
+    previous_min = min_pressure;
+  }
+}
+
+TEST_P(EveryNetwork, EpsIsDeterministic) {
+  const auto net = GetParam().make();
+  SimulationOptions options;
+  options.duration_s = 2 * 3600.0;
+  Simulation a(net, options), b(net, options);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  for (std::size_t s = 0; s < ra.num_steps(); ++s) {
+    for (NodeId v = 0; v < ra.num_nodes(); ++v) {
+      ASSERT_DOUBLE_EQ(ra.pressure(s, v), rb.pressure(s, v));
+    }
+  }
+}
+
+TEST_P(EveryNetwork, DarcyWeisbachModeAlsoConverges) {
+  auto net = GetParam().make();
+  // DW interprets roughness in mm; rewrite pipe roughness accordingly.
+  for (LinkId l = 0; l < net.num_links(); ++l) {
+    if (net.link(l).type == LinkType::kPipe) net.link(l).roughness = 0.3;
+  }
+  SolverOptions options;
+  options.headloss = HeadLossModel::kDarcyWeisbach;
+  GgaSolver solver(net, options);
+  const auto state = solver.solve_snapshot();
+  EXPECT_TRUE(state.converged) << GetParam().name;
+  for (const NodeId v : net.junction_ids()) {
+    EXPECT_GT(state.pressure[v], 0.0) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BuiltinNetworks, EveryNetwork,
+                         ::testing::ValuesIn(networks_under_test()),
+                         [](const ::testing::TestParamInfo<NetworkCase>& info) {
+                           return info.param.name;
+                         });
+
+/// Emitter-exponent sweep: Eq. 1 must hold at the solution for any beta.
+class EmitterExponent : public ::testing::TestWithParam<double> {};
+
+TEST_P(EmitterExponent, EquationOneHoldsAtSolution) {
+  const double beta = GetParam();
+  Network net("beta");
+  const NodeId r = net.add_reservoir("R", 50.0);
+  const NodeId a = net.add_junction("A", 10.0, 5.0);
+  net.add_pipe("P", r, a, 300.0, 0.3, 120.0);
+  net.set_emitter(a, 0.002, beta);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged) << "beta " << beta;
+  const double p = state.pressure[a];
+  ASSERT_GT(p, 1.0);
+  EXPECT_NEAR(state.emitter_outflow[a], 0.002 * std::pow(p, beta), 1e-7) << "beta " << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, EmitterExponent,
+                         ::testing::Values(0.5, 0.75, 1.0, 1.5, 2.0, 2.5));
+
+/// Leak-slot sweep: the scheduled activation must be exact at any slot.
+class LeakSlot : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LeakSlot, ActivationIsExactlyOnSchedule) {
+  const std::size_t slot = GetParam();
+  const auto net = networks::make_epa_net();
+  const NodeId target = net.junction_ids()[30];
+  SimulationOptions options;
+  options.duration_s = static_cast<double>(slot + 2) * 900.0;
+  Simulation sim(net, options);
+  sim.schedule_leak({target, 0.003, 0.5, static_cast<double>(slot) * 900.0});
+  const auto results = sim.run();
+  EXPECT_DOUBLE_EQ(results.emitter_outflow(slot - 1, target), 0.0);
+  EXPECT_GT(results.emitter_outflow(slot, target), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotSweep, LeakSlot, ::testing::Values(1u, 4u, 16u, 40u, 80u));
+
+}  // namespace
+}  // namespace aqua::hydraulics

@@ -1,0 +1,194 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace aqua {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(15);
+  const int n = 100000;
+  long total = 0;
+  for (int i = 0; i < n; ++i) total += rng.poisson(2.5);
+  EXPECT_NEAR(static_cast<double>(total) / n, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(16);
+  const int n = 20000;
+  long total = 0;
+  for (int i = 0; i < n; ++i) total += rng.poisson(100.0);
+  EXPECT_NEAR(static_cast<double>(total) / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(18);
+  const int n = 100000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += rng.exponential(4.0);
+  EXPECT_NEAR(total / n, 0.25, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (auto v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(20);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementTooManyThrows) {
+  Rng rng(21);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), InvalidArgument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(22);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(24);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), InvalidArgument);
+  std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), InvalidArgument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(25);
+  Rng child = parent.split();
+  // Child stream should not replicate the parent stream.
+  Rng parent_copy(25);
+  Rng child_copy = parent_copy.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child(), child_copy());  // deterministic
+  Rng p2(25);
+  auto c1 = p2.split();
+  auto c2 = p2.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (c1() == c2());
+  EXPECT_LT(equal, 3);  // siblings differ
+}
+
+}  // namespace
+}  // namespace aqua

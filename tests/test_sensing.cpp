@@ -1,0 +1,158 @@
+#include "sensing/placement.hpp"
+#include "sensing/sensors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "networks/builtin.hpp"
+
+namespace aqua::sensing {
+namespace {
+
+hydraulics::SimulationResults baseline_day(const hydraulics::Network& net) {
+  hydraulics::SimulationOptions options;
+  options.duration_s = 6 * 3600.0;  // short baseline is enough for signatures
+  hydraulics::Simulation sim(net, options);
+  return sim.run();
+}
+
+TEST(Sensors, FullObservationCoversEverything) {
+  const auto net = networks::make_epa_net();
+  const auto sensors = full_observation(net);
+  EXPECT_EQ(sensors.size(), net.num_nodes() + net.num_links());
+  EXPECT_EQ(sensors.count(SensorKind::kPressure), net.num_nodes());
+  EXPECT_EQ(sensors.count(SensorKind::kFlow), net.num_links());
+}
+
+TEST(Sensors, PercentageMapping) {
+  const auto net = networks::make_epa_net();  // 96 nodes + 121 links = 217
+  EXPECT_EQ(sensors_for_percentage(net, 100.0), 217u);
+  EXPECT_EQ(sensors_for_percentage(net, 10.0), 22u);
+  EXPECT_EQ(sensors_for_percentage(net, 0.1), 1u);  // clamped to >= 1
+  EXPECT_THROW(sensors_for_percentage(net, 0.0), InvalidArgument);
+  EXPECT_THROW(sensors_for_percentage(net, 101.0), InvalidArgument);
+}
+
+TEST(Placement, KMedoidsReturnsRequestedCount) {
+  const auto net = networks::make_epa_net();
+  const auto baseline = baseline_day(net);
+  const auto sensors = place_sensors_kmedoids(net, baseline, 20);
+  EXPECT_EQ(sensors.size(), 20u);
+  // No duplicate (kind, index) pairs.
+  std::set<std::pair<int, std::size_t>> unique;
+  for (const auto& s : sensors.sensors) {
+    unique.insert({static_cast<int>(s.kind), s.index});
+  }
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Placement, KMedoidsMixesSensorKinds) {
+  const auto net = networks::make_epa_net();
+  const auto baseline = baseline_day(net);
+  const auto sensors = place_sensors_kmedoids(net, baseline, 40);
+  EXPECT_GT(sensors.count(SensorKind::kPressure), 0u);
+  EXPECT_GT(sensors.count(SensorKind::kFlow), 0u);
+}
+
+TEST(Placement, KMedoidsIsDeterministic) {
+  const auto net = networks::make_epa_net();
+  const auto baseline = baseline_day(net);
+  const auto a = place_sensors_kmedoids(net, baseline, 15, 7);
+  const auto b = place_sensors_kmedoids(net, baseline, 15, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.sensors[i].name, b.sensors[i].name);
+  }
+}
+
+TEST(Placement, RandomPlacementDistinct) {
+  const auto net = networks::make_epa_net();
+  const auto sensors = place_sensors_random(net, 30, 3);
+  EXPECT_EQ(sensors.size(), 30u);
+  std::set<std::string> names;
+  for (const auto& s : sensors.sensors) names.insert(s.name);
+  EXPECT_EQ(names.size(), 30u);
+}
+
+TEST(Readings, CleanDeltaMatchesSimulation) {
+  const auto net = networks::make_epa_net();
+  hydraulics::SimulationOptions options;
+  options.duration_s = 3 * 3600.0;
+  hydraulics::Simulation sim(net, options);
+  const auto junctions = net.junction_ids();
+  sim.schedule_leak({junctions[10], 0.004, 0.5, 3600.0});
+  const auto results = sim.run();
+
+  SensorSet sensors;
+  sensors.sensors.push_back({SensorKind::kPressure, junctions[10], "p"});
+  const std::size_t leak_slot = results.step_at(3600.0);
+  const auto deltas = delta_features_clean(sensors, results, leak_slot, 1);
+  const double expected = results.pressure(leak_slot + 1, junctions[10]) -
+                          results.pressure(leak_slot - 1, junctions[10]);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(deltas[0], expected);
+  EXPECT_LT(deltas[0], 0.0);  // leak lowers pressure
+}
+
+TEST(Readings, NoiseHasConfiguredSpread) {
+  const auto net = networks::make_epa_net();
+  const auto results = baseline_day(net);
+  SensorSet sensors;
+  sensors.sensors.push_back({SensorKind::kPressure, net.junction_ids()[0], "p"});
+  NoiseModel noise;
+  noise.pressure_sigma_m = 0.05;
+  Rng rng(5);
+  double sum = 0.0, ss = 0.0;
+  const int n = 20000;
+  const double truth = results.pressure(0, net.junction_ids()[0]);
+  for (int i = 0; i < n; ++i) {
+    const double r = read_sensors(sensors, results, 0, noise, rng)[0];
+    sum += r - truth;
+    ss += (r - truth) * (r - truth);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.002);
+  EXPECT_NEAR(std::sqrt(ss / n), 0.05, 0.003);
+}
+
+TEST(Readings, FlowNoiseHasRelativeScale) {
+  const auto net = networks::make_epa_net();
+  const auto results = baseline_day(net);
+  // Find a link with substantial flow.
+  std::size_t link = 0;
+  double best = 0.0;
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    if (std::abs(results.flow(0, l)) > best) {
+      best = std::abs(results.flow(0, l));
+      link = l;
+    }
+  }
+  ASSERT_GT(best, 0.001);
+  SensorSet sensors;
+  sensors.sensors.push_back({SensorKind::kFlow, link, "q"});
+  NoiseModel noise;
+  noise.flow_sigma_frac = 0.02;
+  Rng rng(6);
+  double ss = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double r = read_sensors(sensors, results, 0, noise, rng)[0];
+    ss += (r - results.flow(0, link)) * (r - results.flow(0, link));
+  }
+  EXPECT_NEAR(std::sqrt(ss / n), 0.02 * best, 0.002 * best);
+}
+
+TEST(Readings, DeltaValidation) {
+  const auto net = networks::make_epa_net();
+  const auto results = baseline_day(net);
+  const auto sensors = full_observation(net);
+  NoiseModel noise;
+  Rng rng(7);
+  EXPECT_THROW(delta_features(sensors, results, 0, 1, noise, rng), InvalidArgument);
+  EXPECT_THROW(delta_features(sensors, results, 1, 10000, noise, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqua::sensing

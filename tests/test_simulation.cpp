@@ -1,0 +1,170 @@
+#include "hydraulics/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "networks/builtin.hpp"
+
+namespace aqua::hydraulics {
+namespace {
+
+Network small() {
+  Network net("small");
+  const int p = net.add_pattern({"d", {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 1.0, 1.0,
+                                       1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 1.0, 1.0,
+                                       1.0, 1.0}});
+  const NodeId r = net.add_reservoir("R", 55.0);
+  const NodeId a = net.add_junction("A", 10.0, 5.0, p);
+  const NodeId b = net.add_junction("B", 12.0, 3.0, p);
+  net.add_pipe("P1", r, a, 300.0, 0.3, 120.0);
+  net.add_pipe("P2", a, b, 200.0, 0.25, 115.0);
+  return net;
+}
+
+TEST(Simulation, StepCountMatchesDuration) {
+  SimulationOptions options;
+  options.duration_s = 4 * 3600.0;
+  options.hydraulic_step_s = 900.0;
+  Simulation sim(small(), options);
+  EXPECT_EQ(sim.num_steps(), 17u);  // 16 intervals + initial state
+  const auto results = sim.run();
+  EXPECT_EQ(results.num_steps(), 17u);
+  EXPECT_DOUBLE_EQ(results.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(results.time(16), 4 * 3600.0);
+}
+
+TEST(Simulation, PatternRaisesDemandAndDropsPressure) {
+  SimulationOptions options;
+  options.duration_s = 8 * 3600.0;
+  Simulation sim(small(), options);
+  const auto results = sim.run();
+  const Network net = small();
+  const NodeId b = net.node_id("B");
+  // Hour 6-8 has multiplier 2 -> lower pressure than hour 0.
+  const auto low = results.step_at(0.0);
+  const auto high = results.step_at(6.5 * 3600.0);
+  EXPECT_LT(results.pressure(high, b), results.pressure(low, b));
+}
+
+TEST(Simulation, LeakActivatesAtScheduledSlot) {
+  SimulationOptions options;
+  options.duration_s = 4 * 3600.0;
+  Simulation sim(small(), options);
+  const Network net = small();
+  const NodeId a = net.node_id("A");
+  sim.schedule_leak({a, 0.003, 0.5, 2 * 3600.0});
+  const auto results = sim.run();
+  const auto before = results.step_at(2 * 3600.0 - 900.0);
+  const auto after = results.step_at(2 * 3600.0);
+  EXPECT_DOUBLE_EQ(results.emitter_outflow(before, a), 0.0);
+  EXPECT_GT(results.emitter_outflow(after, a), 0.0);
+  EXPECT_LT(results.pressure(after, a), results.pressure(before, a));
+}
+
+TEST(Simulation, LeakPersistsToEndOfRun) {
+  SimulationOptions options;
+  options.duration_s = 4 * 3600.0;
+  Simulation sim(small(), options);
+  const NodeId a = small().node_id("A");
+  sim.schedule_leak({a, 0.003, 0.5, 3600.0});
+  const auto results = sim.run();
+  for (std::size_t s = results.step_at(3600.0); s < results.num_steps(); ++s) {
+    EXPECT_GT(results.emitter_outflow(s, a), 0.0) << "step " << s;
+  }
+}
+
+TEST(Simulation, LeakedVolumeIsPositiveAndBounded) {
+  SimulationOptions options;
+  options.duration_s = 4 * 3600.0;
+  Simulation sim(small(), options);
+  const NodeId a = small().node_id("A");
+  sim.schedule_leak({a, 0.002, 0.5, 0.0});
+  const auto results = sim.run();
+  const double volume = results.leaked_volume();
+  EXPECT_GT(volume, 0.0);
+  // Upper bound: max outflow times duration.
+  double max_rate = 0.0;
+  for (std::size_t s = 0; s < results.num_steps(); ++s) {
+    max_rate = std::max(max_rate, results.emitter_outflow(s, a));
+  }
+  EXPECT_LE(volume, max_rate * options.duration_s * 1.001);
+}
+
+TEST(Simulation, MultipleConcurrentLeaks) {
+  SimulationOptions options;
+  options.duration_s = 2 * 3600.0;
+  Simulation sim(small(), options);
+  const Network net = small();
+  sim.schedule_leaks({{net.node_id("A"), 0.002, 0.5, 3600.0},
+                      {net.node_id("B"), 0.003, 0.5, 3600.0}});
+  const auto results = sim.run();
+  const auto step = results.step_at(3600.0);
+  EXPECT_GT(results.emitter_outflow(step, net.node_id("A")), 0.0);
+  EXPECT_GT(results.emitter_outflow(step, net.node_id("B")), 0.0);
+}
+
+TEST(Simulation, RunsAreRepeatable) {
+  SimulationOptions options;
+  options.duration_s = 2 * 3600.0;
+  Simulation sim(small(), options);
+  sim.schedule_leak({small().node_id("A"), 0.002, 0.5, 1800.0});
+  const auto first = sim.run();
+  const auto second = sim.run();
+  ASSERT_EQ(first.num_steps(), second.num_steps());
+  for (std::size_t s = 0; s < first.num_steps(); ++s) {
+    for (NodeId v = 0; v < first.num_nodes(); ++v) {
+      EXPECT_DOUBLE_EQ(first.pressure(s, v), second.pressure(s, v));
+    }
+  }
+}
+
+TEST(Simulation, SchedulingValidation) {
+  Simulation sim(small(), {});
+  const Network net = small();
+  EXPECT_THROW(sim.schedule_leak({net.node_id("R"), 0.002, 0.5, 0.0}), InvalidArgument);
+  EXPECT_THROW(sim.schedule_leak({net.node_id("A"), 0.0, 0.5, 0.0}), InvalidArgument);
+  EXPECT_THROW(sim.schedule_leak({net.node_id("A"), 0.002, 0.5, -5.0}), InvalidArgument);
+}
+
+TEST(Simulation, StepAtClampsAndSelects) {
+  SimulationOptions options;
+  options.duration_s = 3600.0;
+  Simulation sim(small(), options);
+  const auto results = sim.run();
+  EXPECT_EQ(results.step_at(-100.0), 0u);
+  EXPECT_EQ(results.step_at(0.0), 0u);
+  EXPECT_EQ(results.step_at(950.0), 1u);
+  EXPECT_EQ(results.step_at(1e9), results.num_steps() - 1);
+}
+
+TEST(Simulation, TankLevelRespondsToDraw) {
+  // Tank-only source: levels must drop as demand drains it.
+  Network net("tankdrain");
+  const NodeId t = net.add_tank("T", 30.0, 5.0, 0.5, 8.0, 8.0);
+  const NodeId a = net.add_junction("A", 5.0, 10.0);
+  net.add_pipe("P", t, a, 100.0, 0.3, 120.0);
+  SimulationOptions options;
+  options.duration_s = 6 * 3600.0;
+  Simulation sim(net, options);
+  const auto results = sim.run();
+  // Tank head (= elevation + level) must decline over the run.
+  EXPECT_LT(results.head(results.num_steps() - 1, t), results.head(0, t));
+}
+
+TEST(Simulation, EpaNetFullDayRuns) {
+  SimulationOptions options;
+  options.duration_s = 24 * 3600.0;
+  Simulation sim(networks::make_epa_net(), options);
+  const auto results = sim.run();
+  EXPECT_EQ(results.num_steps(), 97u);
+  // All junction pressures stay positive through the day.
+  const auto net = networks::make_epa_net();
+  for (std::size_t s = 0; s < results.num_steps(); ++s) {
+    for (const NodeId v : net.junction_ids()) {
+      EXPECT_GT(results.pressure(s, v), 0.0) << "step " << s << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqua::hydraulics

@@ -1,0 +1,169 @@
+#include "hydraulics/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "hydraulics/headloss.hpp"
+
+namespace aqua::hydraulics {
+namespace {
+
+/// Reservoir (head 50) -> single pipe -> junction with demand.
+Network single_pipe(double demand_lps = 20.0) {
+  Network net("single");
+  const NodeId r = net.add_reservoir("R", 50.0);
+  const NodeId a = net.add_junction("A", 10.0, demand_lps);
+  net.add_pipe("P", r, a, 500.0, 0.3, 120.0);
+  return net;
+}
+
+TEST(GgaSolver, SinglePipeMatchesAnalyticHeadLoss) {
+  const Network net = single_pipe(20.0);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  const double q = 0.020;
+  EXPECT_NEAR(state.flow[0], q, 1e-6);
+  const double r = hazen_williams_resistance(500.0, 0.3, 120.0);
+  const double expected_head = 50.0 - r * std::pow(q, 1.852);
+  EXPECT_NEAR(state.head[net.node_id("A")], expected_head, 1e-6);
+  EXPECT_NEAR(state.pressure[net.node_id("A")], expected_head - 10.0, 1e-6);
+}
+
+TEST(GgaSolver, ZeroDemandGivesStaticHead) {
+  const Network net = single_pipe(0.0);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  EXPECT_NEAR(state.head[net.node_id("A")], 50.0, 1e-6);
+  EXPECT_NEAR(state.flow[0], 0.0, 1e-6);
+}
+
+TEST(GgaSolver, MassBalanceAtEveryJunction) {
+  // Looped network: R -> A -> B, R -> B, plus demands.
+  Network net("looped");
+  const NodeId r = net.add_reservoir("R", 60.0);
+  const NodeId a = net.add_junction("A", 10.0, 8.0);
+  const NodeId b = net.add_junction("B", 12.0, 12.0);
+  net.add_pipe("P1", r, a, 300.0, 0.3, 120.0);
+  net.add_pipe("P2", a, b, 200.0, 0.25, 110.0);
+  net.add_pipe("P3", r, b, 400.0, 0.3, 125.0);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  // Node A: inflow P1 - outflow P2 = demand.
+  EXPECT_NEAR(state.flow[0] - state.flow[1], 0.008, 1e-5);
+  // Node B: inflow P2 + P3 = demand.
+  EXPECT_NEAR(state.flow[1] + state.flow[2], 0.012, 1e-5);
+}
+
+TEST(GgaSolver, EmitterSatisfiesEquationOne) {
+  Network net = single_pipe(5.0);
+  net.set_emitter(net.node_id("A"), 0.004, 0.5);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  const double p = state.pressure[net.node_id("A")];
+  ASSERT_GT(p, 1.0);  // above the smoothing region
+  EXPECT_NEAR(state.emitter_outflow[net.node_id("A")], 0.004 * std::sqrt(p), 1e-8);
+  // Pipe must carry demand + leak.
+  EXPECT_NEAR(state.flow[0], 0.005 + state.emitter_outflow[net.node_id("A")], 1e-6);
+}
+
+TEST(GgaSolver, LeakLowersPressure) {
+  Network healthy = single_pipe(10.0);
+  GgaSolver hs(healthy);
+  const double p_healthy = hs.solve_snapshot().pressure[healthy.node_id("A")];
+  Network leaky = single_pipe(10.0);
+  leaky.set_emitter(leaky.node_id("A"), 0.005, 0.5);
+  GgaSolver ls(leaky);
+  const double p_leaky = ls.solve_snapshot().pressure[leaky.node_id("A")];
+  EXPECT_LT(p_leaky, p_healthy);
+}
+
+TEST(GgaSolver, ClosedPipeBlocksFlow) {
+  Network net("closed");
+  const NodeId r = net.add_reservoir("R", 50.0);
+  const NodeId a = net.add_junction("A", 10.0, 5.0);
+  net.add_pipe("P1", r, a, 300.0, 0.3, 120.0);
+  const LinkId closed = net.add_pipe("P2", r, a, 300.0, 0.3, 120.0, LinkStatus::kClosed);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  EXPECT_NEAR(state.flow[closed], 0.0, 1e-6);
+  EXPECT_NEAR(state.flow[0], 0.005, 1e-5);
+}
+
+TEST(GgaSolver, PumpLiftsHeadAboveSource) {
+  Network net("pumped");
+  const NodeId r = net.add_reservoir("R", 5.0);
+  const NodeId a = net.add_junction("A", 2.0, 10.0);
+  net.add_pump("PU", r, a, PumpCurve{40.0, 500.0, 2.0});
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  const double q = state.flow[0];
+  EXPECT_NEAR(q, 0.010, 1e-5);
+  EXPECT_NEAR(state.head[a], 5.0 + 40.0 - 500.0 * q * q, 1e-4);
+  EXPECT_GT(state.head[a], 5.0);
+}
+
+TEST(GgaSolver, TankActsAsFixedHeadWithinSolve) {
+  Network net("tanked");
+  const NodeId t = net.add_tank("T", 30.0, 4.0, 1.0, 8.0, 10.0);
+  const NodeId a = net.add_junction("A", 5.0, 3.0);
+  net.add_pipe("P", t, a, 100.0, 0.3, 120.0);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  EXPECT_DOUBLE_EQ(state.head[t], 34.0);
+  EXPECT_LT(state.head[a], 34.0);
+}
+
+TEST(GgaSolver, WarmStartConvergesFaster) {
+  const Network net = single_pipe(15.0);
+  GgaSolver solver(net);
+  const auto cold = solver.solve_snapshot();
+  std::vector<double> demands(net.num_nodes(), 0.0), fixed(net.num_nodes(), 0.0);
+  demands[net.node_id("A")] = 0.0151;  // small perturbation
+  fixed[net.node_id("R")] = 50.0;
+  const auto warm = solver.solve(demands, fixed, &cold);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(GgaSolver, RequiresPerNodeVectors) {
+  const Network net = single_pipe();
+  GgaSolver solver(net);
+  EXPECT_THROW(solver.solve({0.0}, {0.0, 0.0}), InvalidArgument);
+}
+
+TEST(GgaSolver, InvalidNetworkRejectedAtConstruction) {
+  Network net("nosource");
+  const NodeId a = net.add_junction("A", 0.0);
+  const NodeId b = net.add_junction("B", 0.0);
+  net.add_pipe("P", a, b, 10.0, 0.1, 100.0);
+  EXPECT_THROW(GgaSolver{net}, InvalidArgument);
+}
+
+TEST(GgaSolver, TotalEmitterOutflowSums) {
+  Network net("multi-leak");
+  const NodeId r = net.add_reservoir("R", 60.0);
+  const NodeId a = net.add_junction("A", 10.0, 2.0);
+  const NodeId b = net.add_junction("B", 10.0, 2.0);
+  net.add_pipe("P1", r, a, 200.0, 0.3, 120.0);
+  net.add_pipe("P2", a, b, 200.0, 0.3, 120.0);
+  net.set_emitter(a, 0.002);
+  net.set_emitter(b, 0.003);
+  GgaSolver solver(net);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  EXPECT_NEAR(state.total_emitter_outflow(),
+              state.emitter_outflow[a] + state.emitter_outflow[b], 1e-12);
+  EXPECT_GT(state.emitter_outflow[b], 0.0);
+}
+
+}  // namespace
+}  // namespace aqua::hydraulics

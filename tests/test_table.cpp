@@ -1,0 +1,46 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace aqua {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.5   |"), std::string::npos);
+}
+
+TEST(Table, SeparatorMatchesWidths) {
+  Table t({"a"});
+  t.add_row({"xyz"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("|-----|"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, RejectsEmptyHeaders) { EXPECT_THROW(Table({}), InvalidArgument); }
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 3), "-0.500");
+}
+
+TEST(Table, EmptyTableStillRendersHeader) {
+  Table t({"col"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,79 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace aqua {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.submit([&] { value = 42; }).get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(1, [&](std::size_t i) { count += static_cast<int>(i) + 1; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8, [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitFuturePropagatesException) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::logic_error("bad"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> sum{0};
+  ThreadPool::global().parallel_for(10, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) futures.push_back(pool.submit([&] { ++done; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace aqua
