@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_time.dir/detection_time.cpp.o"
+  "CMakeFiles/bench_detection_time.dir/detection_time.cpp.o.d"
+  "bench_detection_time"
+  "bench_detection_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

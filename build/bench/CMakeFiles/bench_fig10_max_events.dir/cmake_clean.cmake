@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_max_events.dir/fig10_max_events.cpp.o"
+  "CMakeFiles/bench_fig10_max_events.dir/fig10_max_events.cpp.o.d"
+  "bench_fig10_max_events"
+  "bench_fig10_max_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_max_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_flood.dir/fig11_flood.cpp.o"
+  "CMakeFiles/bench_fig11_flood.dir/fig11_flood.cpp.o.d"
+  "bench_fig11_flood"
+  "bench_fig11_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_breaks_vs_temperature.dir/fig3_breaks_vs_temperature.cpp.o"
+  "CMakeFiles/bench_fig3_breaks_vs_temperature.dir/fig3_breaks_vs_temperature.cpp.o.d"
+  "bench_fig3_breaks_vs_temperature"
+  "bench_fig3_breaks_vs_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_breaks_vs_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

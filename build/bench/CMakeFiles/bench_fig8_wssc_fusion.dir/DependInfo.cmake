@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_wssc_fusion.cpp" "bench/CMakeFiles/bench_fig8_wssc_fusion.dir/fig8_wssc_fusion.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_wssc_fusion.dir/fig8_wssc_fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flood/CMakeFiles/aqua_flood.dir/DependInfo.cmake"
+  "/root/repo/build/src/networks/CMakeFiles/aqua_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/aqua_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/aqua_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/aqua_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydraulics/CMakeFiles/aqua_hydraulics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aqua_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aqua_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gamma_coarseness.dir/fig9_gamma_coarseness.cpp.o"
+  "CMakeFiles/bench_fig9_gamma_coarseness.dir/fig9_gamma_coarseness.cpp.o.d"
+  "bench_fig9_gamma_coarseness"
+  "bench_fig9_gamma_coarseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gamma_coarseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

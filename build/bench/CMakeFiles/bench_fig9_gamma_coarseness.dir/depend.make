@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_gamma_coarseness.
+# This may be replaced when dependencies are built.

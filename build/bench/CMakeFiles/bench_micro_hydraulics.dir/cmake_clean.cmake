@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hydraulics.dir/micro_hydraulics.cpp.o"
+  "CMakeFiles/bench_micro_hydraulics.dir/micro_hydraulics.cpp.o.d"
+  "bench_micro_hydraulics"
+  "bench_micro_hydraulics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hydraulics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

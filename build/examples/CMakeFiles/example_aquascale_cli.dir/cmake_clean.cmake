@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aquascale_cli.dir/aquascale_cli.cpp.o"
+  "CMakeFiles/example_aquascale_cli.dir/aquascale_cli.cpp.o.d"
+  "example_aquascale_cli"
+  "example_aquascale_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aquascale_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cold_snap_monitoring.dir/cold_snap_monitoring.cpp.o"
+  "CMakeFiles/example_cold_snap_monitoring.dir/cold_snap_monitoring.cpp.o.d"
+  "example_cold_snap_monitoring"
+  "example_cold_snap_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cold_snap_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

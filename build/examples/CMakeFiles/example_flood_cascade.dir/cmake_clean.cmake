@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flood_cascade.dir/flood_cascade.cpp.o"
+  "CMakeFiles/example_flood_cascade.dir/flood_cascade.cpp.o.d"
+  "example_flood_cascade"
+  "example_flood_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flood_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_leak_localization.dir/multi_leak_localization.cpp.o"
+  "CMakeFiles/example_multi_leak_localization.dir/multi_leak_localization.cpp.o.d"
+  "example_multi_leak_localization"
+  "example_multi_leak_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_leak_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_placement_study.dir/sensor_placement_study.cpp.o"
+  "CMakeFiles/example_sensor_placement_study.dir/sensor_placement_study.cpp.o.d"
+  "example_sensor_placement_study"
+  "example_sensor_placement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_placement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_core.dir/enumeration.cpp.o"
+  "CMakeFiles/aqua_core.dir/enumeration.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/experiment.cpp.o"
+  "CMakeFiles/aqua_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/pipeline.cpp.o"
+  "CMakeFiles/aqua_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/placement_opt.cpp.o"
+  "CMakeFiles/aqua_core.dir/placement_opt.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/profile.cpp.o"
+  "CMakeFiles/aqua_core.dir/profile.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/scenario.cpp.o"
+  "CMakeFiles/aqua_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/snapshots.cpp.o"
+  "CMakeFiles/aqua_core.dir/snapshots.cpp.o.d"
+  "libaqua_core.a"
+  "libaqua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_flood.dir/dem.cpp.o"
+  "CMakeFiles/aqua_flood.dir/dem.cpp.o.d"
+  "CMakeFiles/aqua_flood.dir/flood_sim.cpp.o"
+  "CMakeFiles/aqua_flood.dir/flood_sim.cpp.o.d"
+  "libaqua_flood.a"
+  "libaqua_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/beliefs.cpp" "src/fusion/CMakeFiles/aqua_fusion.dir/beliefs.cpp.o" "gcc" "src/fusion/CMakeFiles/aqua_fusion.dir/beliefs.cpp.o.d"
+  "/root/repo/src/fusion/human.cpp" "src/fusion/CMakeFiles/aqua_fusion.dir/human.cpp.o" "gcc" "src/fusion/CMakeFiles/aqua_fusion.dir/human.cpp.o.d"
+  "/root/repo/src/fusion/weather.cpp" "src/fusion/CMakeFiles/aqua_fusion.dir/weather.cpp.o" "gcc" "src/fusion/CMakeFiles/aqua_fusion.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hydraulics/CMakeFiles/aqua_hydraulics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aqua_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aqua_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

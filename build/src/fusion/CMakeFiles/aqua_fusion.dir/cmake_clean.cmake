@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_fusion.dir/beliefs.cpp.o"
+  "CMakeFiles/aqua_fusion.dir/beliefs.cpp.o.d"
+  "CMakeFiles/aqua_fusion.dir/human.cpp.o"
+  "CMakeFiles/aqua_fusion.dir/human.cpp.o.d"
+  "CMakeFiles/aqua_fusion.dir/weather.cpp.o"
+  "CMakeFiles/aqua_fusion.dir/weather.cpp.o.d"
+  "libaqua_fusion.a"
+  "libaqua_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

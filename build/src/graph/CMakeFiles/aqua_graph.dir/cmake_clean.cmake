@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_graph.dir/graph.cpp.o"
+  "CMakeFiles/aqua_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/aqua_graph.dir/kmedoids.cpp.o"
+  "CMakeFiles/aqua_graph.dir/kmedoids.cpp.o.d"
+  "CMakeFiles/aqua_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/aqua_graph.dir/shortest_path.cpp.o.d"
+  "libaqua_graph.a"
+  "libaqua_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hydraulics/headloss.cpp" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/headloss.cpp.o" "gcc" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/headloss.cpp.o.d"
+  "/root/repo/src/hydraulics/inp_io.cpp" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/inp_io.cpp.o" "gcc" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/inp_io.cpp.o.d"
+  "/root/repo/src/hydraulics/network.cpp" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/network.cpp.o" "gcc" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/network.cpp.o.d"
+  "/root/repo/src/hydraulics/simulation.cpp" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/simulation.cpp.o" "gcc" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/simulation.cpp.o.d"
+  "/root/repo/src/hydraulics/solver.cpp" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/solver.cpp.o" "gcc" "src/hydraulics/CMakeFiles/aqua_hydraulics.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aqua_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aqua_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

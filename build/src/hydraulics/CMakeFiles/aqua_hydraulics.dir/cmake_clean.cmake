@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_hydraulics.dir/headloss.cpp.o"
+  "CMakeFiles/aqua_hydraulics.dir/headloss.cpp.o.d"
+  "CMakeFiles/aqua_hydraulics.dir/inp_io.cpp.o"
+  "CMakeFiles/aqua_hydraulics.dir/inp_io.cpp.o.d"
+  "CMakeFiles/aqua_hydraulics.dir/network.cpp.o"
+  "CMakeFiles/aqua_hydraulics.dir/network.cpp.o.d"
+  "CMakeFiles/aqua_hydraulics.dir/simulation.cpp.o"
+  "CMakeFiles/aqua_hydraulics.dir/simulation.cpp.o.d"
+  "CMakeFiles/aqua_hydraulics.dir/solver.cpp.o"
+  "CMakeFiles/aqua_hydraulics.dir/solver.cpp.o.d"
+  "libaqua_hydraulics.a"
+  "libaqua_hydraulics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_hydraulics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_linalg.dir/dense.cpp.o"
+  "CMakeFiles/aqua_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/aqua_linalg.dir/solvers.cpp.o"
+  "CMakeFiles/aqua_linalg.dir/solvers.cpp.o.d"
+  "CMakeFiles/aqua_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/aqua_linalg.dir/sparse.cpp.o.d"
+  "libaqua_linalg.a"
+  "libaqua_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

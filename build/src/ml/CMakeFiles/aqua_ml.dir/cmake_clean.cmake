@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_ml.dir/binning.cpp.o"
+  "CMakeFiles/aqua_ml.dir/binning.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/dataset.cpp.o"
+  "CMakeFiles/aqua_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/aqua_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/gradient_boosting.cpp.o"
+  "CMakeFiles/aqua_ml.dir/gradient_boosting.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/hybrid_rsl.cpp.o"
+  "CMakeFiles/aqua_ml.dir/hybrid_rsl.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/linear_models.cpp.o"
+  "CMakeFiles/aqua_ml.dir/linear_models.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/metrics.cpp.o"
+  "CMakeFiles/aqua_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/multilabel.cpp.o"
+  "CMakeFiles/aqua_ml.dir/multilabel.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/aqua_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/aqua_ml.dir/svm.cpp.o"
+  "CMakeFiles/aqua_ml.dir/svm.cpp.o.d"
+  "libaqua_ml.a"
+  "libaqua_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

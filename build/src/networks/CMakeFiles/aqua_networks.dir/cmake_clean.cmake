@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_networks.dir/epa_net.cpp.o"
+  "CMakeFiles/aqua_networks.dir/epa_net.cpp.o.d"
+  "CMakeFiles/aqua_networks.dir/generator.cpp.o"
+  "CMakeFiles/aqua_networks.dir/generator.cpp.o.d"
+  "CMakeFiles/aqua_networks.dir/wssc_subnet.cpp.o"
+  "CMakeFiles/aqua_networks.dir/wssc_subnet.cpp.o.d"
+  "libaqua_networks.a"
+  "libaqua_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/placement.cpp" "src/sensing/CMakeFiles/aqua_sensing.dir/placement.cpp.o" "gcc" "src/sensing/CMakeFiles/aqua_sensing.dir/placement.cpp.o.d"
+  "/root/repo/src/sensing/sensors.cpp" "src/sensing/CMakeFiles/aqua_sensing.dir/sensors.cpp.o" "gcc" "src/sensing/CMakeFiles/aqua_sensing.dir/sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hydraulics/CMakeFiles/aqua_hydraulics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aqua_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aqua_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_sensing.dir/placement.cpp.o"
+  "CMakeFiles/aqua_sensing.dir/placement.cpp.o.d"
+  "CMakeFiles/aqua_sensing.dir/sensors.cpp.o"
+  "CMakeFiles/aqua_sensing.dir/sensors.cpp.o.d"
+  "libaqua_sensing.a"
+  "libaqua_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_enumeration.dir/test_core_enumeration.cpp.o"
+  "CMakeFiles/test_core_enumeration.dir/test_core_enumeration.cpp.o.d"
+  "test_core_enumeration"
+  "test_core_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_snapshots.dir/test_core_snapshots.cpp.o"
+  "CMakeFiles/test_core_snapshots.dir/test_core_snapshots.cpp.o.d"
+  "test_core_snapshots"
+  "test_core_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

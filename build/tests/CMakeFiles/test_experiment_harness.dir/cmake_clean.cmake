@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_harness.dir/test_experiment_harness.cpp.o"
+  "CMakeFiles/test_experiment_harness.dir/test_experiment_harness.cpp.o.d"
+  "test_experiment_harness"
+  "test_experiment_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

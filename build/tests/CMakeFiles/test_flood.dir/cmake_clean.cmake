@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flood.dir/test_flood.cpp.o"
+  "CMakeFiles/test_flood.dir/test_flood.cpp.o.d"
+  "test_flood"
+  "test_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_beliefs.dir/test_fusion_beliefs.cpp.o"
+  "CMakeFiles/test_fusion_beliefs.dir/test_fusion_beliefs.cpp.o.d"
+  "test_fusion_beliefs"
+  "test_fusion_beliefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_beliefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_human.dir/test_fusion_human.cpp.o"
+  "CMakeFiles/test_fusion_human.dir/test_fusion_human.cpp.o.d"
+  "test_fusion_human"
+  "test_fusion_human.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_human.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

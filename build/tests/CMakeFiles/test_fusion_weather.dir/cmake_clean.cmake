@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_weather.dir/test_fusion_weather.cpp.o"
+  "CMakeFiles/test_fusion_weather.dir/test_fusion_weather.cpp.o.d"
+  "test_fusion_weather"
+  "test_fusion_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_headloss.dir/test_headloss.cpp.o"
+  "CMakeFiles/test_headloss.dir/test_headloss.cpp.o.d"
+  "test_headloss"
+  "test_headloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_headloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inp_io.dir/test_inp_io.cpp.o"
+  "CMakeFiles/test_inp_io.dir/test_inp_io.cpp.o.d"
+  "test_inp_io"
+  "test_inp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

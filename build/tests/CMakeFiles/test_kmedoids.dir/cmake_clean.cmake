@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmedoids.dir/test_kmedoids.cpp.o"
+  "CMakeFiles/test_kmedoids.dir/test_kmedoids.cpp.o.d"
+  "test_kmedoids"
+  "test_kmedoids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmedoids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_trees.dir/test_ml_trees.cpp.o"
+  "CMakeFiles/test_ml_trees.dir/test_ml_trees.cpp.o.d"
+  "test_ml_trees"
+  "test_ml_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_networks_builtin.dir/test_networks_builtin.cpp.o"
+  "CMakeFiles/test_networks_builtin.dir/test_networks_builtin.cpp.o.d"
+  "test_networks_builtin"
+  "test_networks_builtin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_networks_builtin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
