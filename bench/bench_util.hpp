@@ -1,12 +1,16 @@
 // Shared helpers for the figure-reproduction benches: an environment-
 // driven scale factor (AQUA_SCALE, default 1.0) so the suite can be run at
-// paper scale on bigger machines, plus consistent banner printing.
+// paper scale on bigger machines, consistent banner printing, and a
+// machine-readable JSON report so the perf trajectory is tracked across
+// PRs.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace aqua::bench {
 
@@ -28,6 +32,30 @@ inline void banner(const std::string& figure, const std::string& description) {
   std::printf("(scenario counts scaled by AQUA_SCALE=%.2f; paper used 20,000/2,000)\n",
               scale_factor());
   std::printf("==============================================================\n");
+}
+
+/// Ordered (metric, value) pairs for json_report.
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+/// Writes BENCH_<name>.json in the working directory: one flat object
+/// with the bench name, AQUA_SCALE, and every metric. Flat keys (e.g.
+/// "wssc_subnet.cholesky_solves_per_s") keep the file trivially
+/// diffable/greppable across PRs.
+inline void json_report(const std::string& name, const Metrics& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "json_report: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"aqua_scale\": %g", name.c_str(),
+               scale_factor());
+  for (const auto& [key, value] : metrics) {
+    std::fprintf(file, ",\n  \"%s\": %.9g", key.c_str(), value);
+  }
+  std::fprintf(file, "\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics.size());
 }
 
 }  // namespace aqua::bench

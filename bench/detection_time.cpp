@@ -17,7 +17,8 @@ using namespace aqua::core;
 
 namespace {
 
-void run_network(const hydraulics::Network& net, std::size_t probes) {
+void run_network(const hydraulics::Network& net, std::size_t probes, const std::string& key,
+                 bench::Metrics& metrics) {
   ExperimentConfig config;
   config.train_samples = bench::scaled(600);
   config.test_samples = std::max<std::size_t>(probes, 16);
@@ -68,6 +69,15 @@ void run_network(const hydraulics::Network& net, std::size_t probes) {
                              ? enum_seconds.mean() / phase2.mean_infer_seconds
                              : 0.0;
   std::printf("online speedup: %.0fx\n", speedup);
+  metrics.emplace_back(key + ".phase2_infer_s", phase2.mean_infer_seconds);
+  metrics.emplace_back(key + ".phase2_hamming", phase2.hamming);
+  metrics.emplace_back(key + ".phase1_train_s", profile.train_seconds);
+  metrics.emplace_back(key + ".enum_event_s", enum_seconds.mean());
+  metrics.emplace_back(key + ".enum_hamming", enum_scores.mean());
+  metrics.emplace_back(key + ".enum_solves_per_event", enum_solves.mean());
+  metrics.emplace_back(key + ".enum_solves_per_s",
+                       enum_seconds.mean() > 0.0 ? enum_solves.mean() / enum_seconds.mean() : 0.0);
+  metrics.emplace_back(key + ".online_speedup", speedup);
   std::printf(
       "(the paper's hours/days figure corresponds to field practice and to\n"
       " enumeration over 20k-candidate spaces with a full-fidelity simulator;\n"
@@ -78,7 +88,9 @@ void run_network(const hydraulics::Network& net, std::size_t probes) {
 
 int main() {
   bench::banner("Detection time", "two-phase inference vs enumeration-search baseline");
-  run_network(networks::make_epa_net(), 10);
-  run_network(networks::make_wssc_subnet(), 5);
+  bench::Metrics metrics;
+  run_network(networks::make_epa_net(), 10, "epa_net", metrics);
+  run_network(networks::make_wssc_subnet(), 5, "wssc_subnet", metrics);
+  bench::json_report("detection_time", metrics);
   return 0;
 }

@@ -1,9 +1,16 @@
 // Microbenchmarks (google-benchmark) for the computational substrates:
-// GGA steady solves, extended-period steps, leak-scenario simulation,
-// k-medoids placement, tree/forest training and profile inference. These
-// are the costs that determine how far the evaluation scales.
+// GGA steady solves (per inner linear solver), extended-period steps,
+// leak-scenario simulation, k-medoids placement, tree/forest training and
+// profile inference. These are the costs that determine how far the
+// evaluation scales. After the google-benchmark suite, main() runs a
+// dedicated inner-solver latency comparison and writes
+// BENCH_micro_hydraulics.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
 #include "core/aquascale.hpp"
 #include "ml/binning.hpp"
 #include "ml/decision_tree.hpp"
@@ -13,23 +20,35 @@ using namespace aqua;
 
 namespace {
 
-void BM_GgaSolveEpaNet(benchmark::State& state) {
-  const auto net = networks::make_epa_net();
-  const hydraulics::GgaSolver solver(net);
+void solve_bench(benchmark::State& state, const hydraulics::Network& net,
+                 hydraulics::LinearSolver linear_solver) {
+  hydraulics::SolverOptions options;
+  options.linear_solver = linear_solver;
+  const hydraulics::GgaSolver solver(net, options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.solve_snapshot());
   }
+}
+
+void BM_GgaSolveEpaNet(benchmark::State& state) {
+  solve_bench(state, networks::make_epa_net(), hydraulics::LinearSolver::kCholesky);
 }
 BENCHMARK(BM_GgaSolveEpaNet);
 
+void BM_GgaSolveEpaNetCg(benchmark::State& state) {
+  solve_bench(state, networks::make_epa_net(), hydraulics::LinearSolver::kConjugateGradient);
+}
+BENCHMARK(BM_GgaSolveEpaNetCg);
+
 void BM_GgaSolveWssc(benchmark::State& state) {
-  const auto net = networks::make_wssc_subnet();
-  const hydraulics::GgaSolver solver(net);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve_snapshot());
-  }
+  solve_bench(state, networks::make_wssc_subnet(), hydraulics::LinearSolver::kCholesky);
 }
 BENCHMARK(BM_GgaSolveWssc);
+
+void BM_GgaSolveWsscCg(benchmark::State& state) {
+  solve_bench(state, networks::make_wssc_subnet(), hydraulics::LinearSolver::kConjugateGradient);
+}
+BENCHMARK(BM_GgaSolveWsscCg);
 
 void BM_GgaSolveWithLeaks(benchmark::State& state) {
   auto net = networks::make_wssc_subnet();
@@ -124,6 +143,53 @@ void BM_BayesAggregation(benchmark::State& state) {
 }
 BENCHMARK(BM_BayesAggregation);
 
+/// Seconds per GGA snapshot solve with the given inner solver (median-free
+/// mean over `reps` solves after warmup; deterministic workload).
+double seconds_per_solve(const hydraulics::Network& net, hydraulics::LinearSolver linear_solver,
+                         std::size_t reps) {
+  hydraulics::SolverOptions options;
+  options.linear_solver = linear_solver;
+  const hydraulics::GgaSolver solver(net, options);
+  for (std::size_t i = 0; i < 3; ++i) solver.solve_snapshot();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i) {
+    const auto state = solver.solve_snapshot();
+    benchmark::DoNotOptimize(state.head.data());
+  }
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return total / static_cast<double>(reps);
+}
+
+/// Per-solve latency of both inner solvers on one builtin network; appends
+/// metrics under `<key>.` and prints the speedup.
+void compare_inner_solvers(const std::string& key, const hydraulics::Network& net,
+                           aqua::bench::Metrics& metrics) {
+  const std::size_t reps = aqua::bench::scaled(64);
+  const double chol = seconds_per_solve(net, hydraulics::LinearSolver::kCholesky, reps);
+  const double cg = seconds_per_solve(net, hydraulics::LinearSolver::kConjugateGradient, reps);
+  const double speedup = chol > 0.0 ? cg / chol : 0.0;
+  std::printf("%-12s (%3zu nodes, %3zu links): cholesky %.3e s/solve, cg %.3e s/solve, %.2fx\n",
+              key.c_str(), net.num_nodes(), net.num_links(), chol, cg, speedup);
+  metrics.emplace_back(key + ".cholesky_solve_s", chol);
+  metrics.emplace_back(key + ".cholesky_solves_per_s", chol > 0.0 ? 1.0 / chol : 0.0);
+  metrics.emplace_back(key + ".cg_solve_s", cg);
+  metrics.emplace_back(key + ".cg_solves_per_s", cg > 0.0 ? 1.0 / cg : 0.0);
+  metrics.emplace_back(key + ".cholesky_speedup_over_cg", speedup);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\ninner linear solver comparison (per GGA snapshot solve):\n");
+  aqua::bench::Metrics metrics;
+  compare_inner_solvers("epa_net", networks::make_epa_net(), metrics);
+  compare_inner_solvers("wssc_subnet", networks::make_wssc_subnet(), metrics);
+  aqua::bench::json_report("micro_hydraulics", metrics);
+  return 0;
+}

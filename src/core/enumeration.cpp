@@ -1,10 +1,12 @@
 #include "core/enumeration.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace aqua::core {
 
@@ -88,9 +90,7 @@ EnumerationOutcome EnumerationLocalizer::localize(std::span<const double> observ
   const auto before_state = healthy_solver.solve(demands_of(healthy, before_period), fixed);
   ++outcome.hydraulic_solves;
 
-  // One reusable leaky network copy; emitters are reset per hypothesis.
-  hydraulics::Network candidate = network_;
-  const auto after_demands = demands_of(candidate, after_period);
+  const auto after_demands = demands_of(network_, after_period);
 
   // Trial hypotheses can push the network into hydraulically infeasible
   // regimes (several large emitters at once); those solves may not
@@ -99,12 +99,15 @@ EnumerationOutcome EnumerationLocalizer::localize(std::span<const double> observ
   hydraulics::SolverOptions solver_options;
   solver_options.throw_on_divergence = false;
 
-  auto eval_hypothesis = [&](const std::vector<std::pair<std::size_t, double>>& leaks) {
+  // Evaluates one hypothesis on a caller-owned network/solver pair. The
+  // GGA solver re-reads emitter attributes each solve, so one solver per
+  // worker serves every trial (assembly and symbolic factorization are
+  // built once, not per hypothesis).
+  auto eval_hypothesis = [&](hydraulics::Network& candidate, const hydraulics::GgaSolver& solver,
+                             const std::vector<std::pair<std::size_t, double>>& leaks) {
     candidate.clear_emitters();
     for (const auto& [label, ec] : leaks) candidate.set_emitter(labels_.node_of(label), ec);
-    hydraulics::GgaSolver solver(candidate, solver_options);
     const auto after_state = solver.solve(after_demands, fixed, &before_state);
-    ++outcome.hydraulic_solves;
     if (!after_state.converged) return std::numeric_limits<double>::infinity();
     double ss = 0.0;
     for (std::size_t i = 0; i < sensors_.size(); ++i) {
@@ -120,23 +123,54 @@ EnumerationOutcome EnumerationLocalizer::localize(std::span<const double> observ
   };
 
   std::vector<std::pair<std::size_t, double>> hypothesis;
-  double current_residual = eval_hypothesis(hypothesis);
+  hydraulics::Network base_candidate = network_;
+  const hydraulics::GgaSolver base_solver(base_candidate, solver_options);
+  double current_residual = eval_hypothesis(base_candidate, base_solver, hypothesis);
+  ++outcome.hydraulic_solves;
+
+  // Each greedy round scores every remaining (node, EC) extension of the
+  // current hypothesis; the trials are independent hydraulic solves, so
+  // they fan out over the global thread pool with one network/solver
+  // context per worker (GgaSolver instances are not shareable across
+  // threads).
+  auto& pool = ThreadPool::global();
+  const std::size_t workers = std::max<std::size_t>(1, pool.size());
 
   for (std::size_t round = 0; round < config_.max_leaks; ++round) {
+    std::vector<std::pair<std::size_t, double>> trials;  // (label, ec)
+    trials.reserve(labels_.num_labels() * config_.candidate_ecs.size());
+    for (std::size_t label = 0; label < labels_.num_labels(); ++label) {
+      if (outcome.predicted[label] != 0) continue;
+      for (double ec : config_.candidate_ecs) trials.emplace_back(label, ec);
+    }
+    if (trials.empty()) break;
+
+    std::vector<double> residuals(trials.size(), std::numeric_limits<double>::infinity());
+    std::atomic<std::size_t> solves{0};
+    const std::size_t stripes = std::min(workers, trials.size());
+    pool.parallel_for(stripes, [&](std::size_t w) {
+      hydraulics::Network candidate = network_;
+      const hydraulics::GgaSolver solver(candidate, solver_options);
+      std::size_t local_solves = 0;
+      auto trial_hypothesis = hypothesis;
+      trial_hypothesis.emplace_back(0, 0.0);
+      for (std::size_t t = w; t < trials.size(); t += stripes) {
+        trial_hypothesis.back() = trials[t];
+        residuals[t] = eval_hypothesis(candidate, solver, trial_hypothesis);
+        ++local_solves;
+      }
+      solves.fetch_add(local_solves, std::memory_order_relaxed);
+    });
+    outcome.hydraulic_solves += solves.load();
+
     double best_residual = current_residual;
     std::pair<std::size_t, double> best_leak{0, 0.0};
     bool found = false;
-    for (std::size_t label = 0; label < labels_.num_labels(); ++label) {
-      if (outcome.predicted[label] != 0) continue;
-      for (double ec : config_.candidate_ecs) {
-        auto trial = hypothesis;
-        trial.emplace_back(label, ec);
-        const double residual = eval_hypothesis(trial);
-        if (residual < best_residual) {
-          best_residual = residual;
-          best_leak = {label, ec};
-          found = true;
-        }
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      if (residuals[t] < best_residual) {
+        best_residual = residuals[t];
+        best_leak = trials[t];
+        found = true;
       }
     }
     if (!found) break;

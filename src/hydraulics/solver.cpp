@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "common/error.hpp"
 #include "linalg/solvers.hpp"
@@ -51,6 +53,53 @@ GgaSolver::GgaSolver(const Network& network, SolverOptions options)
     : network_(network), options_(options) {
   network_.validate();
   assembly_ = build_assembly();
+
+  // Workspace: the one-and-only copy of the pattern plus every buffer the
+  // Newton loop needs, so solve() is allocation-free in steady state.
+  const std::size_t rows = assembly_.node_of_row.size();
+  const std::size_t m = network_.num_links();
+  workspace_.matrix = assembly_.pattern;
+  workspace_.rhs.assign(rows, 0.0);
+  workspace_.solution.assign(rows, 0.0);
+  workspace_.prev_solution.assign(rows, 0.0);
+  workspace_.y.assign(m, 0.0);
+  workspace_.p.assign(m, 0.0);
+  if (options_.linear_solver == LinearSolver::kCholesky) {
+    // Symbolic factorization (minimum-degree ordering + elimination tree
+    // + factor pattern) is computed once here; every Newton iteration
+    // only refactorizes numerically.
+    workspace_.factor.analyze(assembly_.pattern);
+  }
+}
+
+bool GgaSolver::solve_linear_system(std::string* why) const {
+  Workspace& ws = workspace_;
+  if (options_.linear_solver == LinearSolver::kCholesky) {
+    try {
+      ws.factor.factorize(ws.matrix);
+      ws.factor.solve(ws.rhs, ws.solution);
+    } catch (const SolverError& error) {
+      if (why != nullptr) *why = error.what();
+      return false;
+    }
+    return true;
+  }
+  std::copy(ws.prev_solution.begin(), ws.prev_solution.end(), ws.solution.begin());
+  try {
+    const auto stats = linalg::conjugate_gradient_into(ws.matrix, ws.rhs, ws.solution, ws.cg,
+                                                       options_.cg);
+    if (!stats.converged) {
+      if (why != nullptr) {
+        *why = "CG did not converge (relative residual " +
+               std::to_string(stats.relative_residual) + ")";
+      }
+      return false;
+    }
+  } catch (const SolverError& error) {
+    if (why != nullptr) *why = error.what();
+    return false;
+  }
+  return true;
 }
 
 GgaSolver::Assembly GgaSolver::build_assembly() const {
@@ -135,18 +184,18 @@ HydraulicState GgaSolver::solve(const std::vector<double>& demands,
   }
 
   const std::size_t rows = assembly_.node_of_row.size();
-  linalg::CsrMatrix matrix = assembly_.pattern;  // copy pattern; values refilled below
-  std::vector<double> rhs(rows, 0.0);
-  std::vector<double> prev_solution(rows, 0.0);
+  Workspace& ws = workspace_;
+  std::vector<double>& rhs = ws.rhs;
+  std::vector<double>& prev_solution = ws.prev_solution;
+  std::vector<double>& y = ws.y;
+  std::vector<double>& p = ws.p;
   for (std::size_t r = 0; r < rows; ++r) prev_solution[r] = state.head[assembly_.node_of_row[r]];
-
-  std::vector<double> y(m, 0.0), p(m, 0.0);
 
   for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
     state.iterations = iter;
-    matrix.zero_values();
+    ws.matrix.zero_values();
     std::fill(rhs.begin(), rhs.end(), 0.0);
-    auto values = matrix.values();
+    auto values = ws.matrix.values();
 
     // Link stamps.
     for (LinkId l = 0; l < m; ++l) {
@@ -188,11 +237,10 @@ HydraulicState GgaSolver::solve(const std::vector<double>& demands,
       }
     }
 
-    const auto cg = linalg::conjugate_gradient(matrix, rhs, prev_solution);
-    if (!cg.converged) {
+    std::string why;
+    if (!solve_linear_system(&why)) {
       if (options_.throw_on_divergence) {
-        throw SolverError("GGA: inner CG solve failed to converge (relative residual " +
-                          std::to_string(cg.relative_residual) + ")");
+        throw SolverError("GGA: inner linear solve failed (" + why + ")");
       }
       return state;
     }
@@ -204,37 +252,36 @@ HydraulicState GgaSolver::solve(const std::vector<double>& demands,
         iter <= 8 ? 1.0 : (iter <= 20 ? 0.5 : (iter <= 60 ? 0.25 : 0.1));
     for (std::size_t r = 0; r < rows; ++r) {
       const NodeId v = assembly_.node_of_row[r];
-      state.head[v] += relaxation * (cg.x[r] - state.head[v]);
+      state.head[v] += relaxation * (ws.solution[r] - state.head[v]);
       prev_solution[r] = state.head[v];
     }
 
     double flow_change = 0.0;
     double flow_total = 0.0;
+    // The worst-link diagnostic is captured here, *before* state.flow is
+    // overwritten, so the reported dq is the change actually applied this
+    // iteration (recomputing it afterwards always reads ~0).
+    double worst_dq = 0.0;
+    LinkId worst = 0;
     for (LinkId l = 0; l < m; ++l) {
       const Link& link = network_.link(l);
       const double candidate = y[l] + p[l] * (state.head[link.from] - state.head[link.to]);
       const double new_flow = state.flow[l] + relaxation * (candidate - state.flow[l]);
-      flow_change += std::abs(new_flow - state.flow[l]);
+      const double dq = std::abs(new_flow - state.flow[l]);
+      flow_change += dq;
       flow_total += std::abs(new_flow);
+      if (dq > worst_dq) {
+        worst_dq = dq;
+        worst = l;
+      }
       state.flow[l] = new_flow;
     }
     if (options_.trace) {
-      double max_change = 0.0;
-      LinkId worst = 0;
-      for (LinkId l = 0; l < m; ++l) {
-        const double c = std::abs(y[l] + p[l] * (state.head[network_.link(l).from] -
-                                                 state.head[network_.link(l).to]) -
-                                  state.flow[l]);
-        if (c > max_change) {
-          max_change = c;
-          worst = l;
-        }
-      }
       const Link& wl = network_.link(worst);
       std::fprintf(stderr,
                    "gga iter %zu: ratio=%.3e worst=%s dq=%.4g q=%.4g h_from=%.2f h_to=%.2f\n",
                    iter, flow_total > 0 ? flow_change / flow_total : -1.0, wl.name.c_str(),
-                   max_change, state.flow[worst], state.head[wl.from], state.head[wl.to]);
+                   worst_dq, state.flow[worst], state.head[wl.from], state.head[wl.to]);
     }
     // Relative flow-change criterion with an absolute floor so all-zero
     // demand snapshots (flow_total ~ 0) converge instead of dividing by 0.

@@ -12,13 +12,26 @@
 
 #include <array>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "hydraulics/headloss.hpp"
 #include "hydraulics/network.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/solvers.hpp"
 #include "linalg/sparse.hpp"
 
 namespace aqua::hydraulics {
+
+/// Inner linear solver for the per-iteration SPD node system.
+enum class LinearSolver {
+  /// Sparse LDL^T with a minimum-degree ordering and a cached symbolic
+  /// factorization (EPANET 2's approach); the default.
+  kCholesky,
+  /// Jacobi-preconditioned conjugate gradients, warm-started from the
+  /// previous Newton iterate.
+  kConjugateGradient,
+};
 
 struct SolverOptions {
   HeadLossModel headloss = HeadLossModel::kHazenWilliams;
@@ -29,6 +42,10 @@ struct SolverOptions {
   bool throw_on_divergence = true;
   /// Print per-iteration convergence diagnostics to stderr.
   bool trace = false;
+  /// Inner linear solver; kCholesky unless experimenting.
+  LinearSolver linear_solver = LinearSolver::kCholesky;
+  /// Settings for the kConjugateGradient fallback.
+  linalg::CgOptions cg;
 };
 
 /// One hydraulic snapshot.
@@ -47,6 +64,13 @@ struct HydraulicState {
 /// *structure* (nodes/links) must not change between solves; attribute
 /// changes (emitter coefficients, status via options below) are fine
 /// because values are re-evaluated each call.
+///
+/// The solver owns a workspace (matrix values, factor, rhs/iterate
+/// buffers) built once in the constructor and reused by every solve(), so
+/// steady-state solves allocate only the returned HydraulicState. The
+/// flip side: solve() mutates that workspace, so a single GgaSolver
+/// instance must not be used from multiple threads concurrently — give
+/// each thread its own instance (construction is cheap).
 class GgaSolver {
  public:
   explicit GgaSolver(const Network& network, SolverOptions options = {});
@@ -77,14 +101,31 @@ class GgaSolver {
     std::vector<std::size_t> diag_slot;  // per row
   };
 
+  /// Per-solve scratch, sized once at construction and reused across all
+  /// solve() calls of an EPS run or scenario batch.
+  struct Workspace {
+    linalg::CsrMatrix matrix;  // assembly pattern; values refilled per iteration
+    std::vector<double> rhs;
+    std::vector<double> solution;
+    std::vector<double> prev_solution;
+    std::vector<double> y, p;            // per-link GGA intermediates
+    linalg::SparseLdlt factor;           // symbolic analysis cached here
+    linalg::CgWorkspace cg;              // scratch for the CG fallback
+  };
+
   static constexpr std::size_t kFixed = static_cast<std::size_t>(-1);
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
   Assembly build_assembly() const;
+  /// Inner linear solve of workspace matrix/rhs into workspace solution.
+  /// Returns false (with a reason) instead of throwing so the Newton loop
+  /// can surface divergence per SolverOptions::throw_on_divergence.
+  bool solve_linear_system(std::string* why) const;
 
   const Network& network_;
   SolverOptions options_;
   Assembly assembly_;
+  mutable Workspace workspace_;
 };
 
 }  // namespace aqua::hydraulics

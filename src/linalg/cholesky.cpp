@@ -1,0 +1,143 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "linalg/ordering.hpp"
+
+namespace aqua::linalg {
+
+void SparseLdlt::analyze(const CsrMatrix& pattern, std::vector<std::size_t> perm) {
+  const std::size_t n = pattern.rows();
+  if (perm.empty()) perm = minimum_degree_ordering(pattern);
+  AQUA_REQUIRE(perm.size() == n, "analyze: permutation size mismatch");
+  perm_ = std::move(perm);
+  pinv_ = inverse_permutation(perm_);
+
+  const auto rp = pattern.row_pointers();
+  const auto ci = pattern.column_indices();
+
+  // Elimination tree and column counts of L for the permuted matrix
+  // (Davis, ldl_symbolic). Row k of the permuted matrix is original row
+  // perm_[k]; original column c maps to pinv_[c].
+  parent_.assign(n, kNone);
+  flag_.assign(n, kNone);
+  std::vector<std::size_t> col_count(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    flag_[k] = k;
+    const std::size_t r = perm_[k];
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) {
+      std::size_t i = pinv_[ci[p]];
+      if (i >= k) continue;
+      // Walk up the elimination tree from i to the flagged prefix; every
+      // node passed gains a nonzero in column i..'s chain for row k.
+      for (; flag_[i] != k; i = parent_[i]) {
+        if (parent_[i] == kNone) parent_[i] = k;
+        ++col_count[i];
+        flag_[i] = k;
+      }
+    }
+  }
+
+  lp_.assign(n + 1, 0);
+  for (std::size_t k = 0; k < n; ++k) lp_[k + 1] = lp_[k] + col_count[k];
+  li_.assign(lp_[n], 0);
+  lx_.assign(lp_[n], 0.0);
+  d_.assign(n, 0.0);
+  pattern_.assign(n, 0);
+  stack_.assign(n, 0);
+  lnz_.assign(n, 0);
+  y_.assign(n, 0.0);
+  work_.assign(n, 0.0);
+  factorized_ = false;
+}
+
+void SparseLdlt::factorize(const CsrMatrix& a) {
+  const std::size_t n = dimension();
+  AQUA_REQUIRE(analyzed(), "factorize before analyze");
+  AQUA_REQUIRE(a.rows() == n, "factorize: dimension mismatch with analyzed pattern");
+
+  const auto rp = a.row_pointers();
+  const auto ci = a.column_indices();
+  const auto ax = a.values();
+
+  // flag_ doubles as the per-step visited marker; reset so stale marks
+  // from a previous factorization cannot collide with step indices.
+  flag_.assign(n, kNone);
+  std::fill(lnz_.begin(), lnz_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Scatter the upper-triangular part of permuted column k into y_ and
+    // compute the nonzero pattern of row k of L as elimination-tree
+    // reaches, in topological order on stack_[top..n).
+    std::size_t top = n;
+    flag_[k] = k;
+    y_[k] = 0.0;
+    const std::size_t r = perm_[k];
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) {
+      const std::size_t i0 = pinv_[ci[p]];
+      if (i0 > k) continue;
+      y_[i0] += ax[p];
+      std::size_t len = 0;
+      for (std::size_t i = i0; flag_[i] != k; i = parent_[i]) {
+        pattern_[len++] = i;
+        flag_[i] = k;
+      }
+      while (len > 0) stack_[--top] = pattern_[--len];
+    }
+
+    double dk = y_[k];
+    y_[k] = 0.0;
+    for (; top < n; ++top) {
+      const std::size_t i = stack_[top];
+      const double yi = y_[i];
+      y_[i] = 0.0;
+      const std::size_t pend = lp_[i] + lnz_[i];
+      for (std::size_t p = lp_[i]; p < pend; ++p) y_[li_[p]] -= lx_[p] * yi;
+      const double lki = yi / d_[i];
+      dk -= lki * yi;
+      li_[pend] = k;
+      lx_[pend] = lki;
+      ++lnz_[i];
+    }
+    if (!(dk > 0.0) || !std::isfinite(dk)) {
+      factorized_ = false;
+      throw SolverError("sparse LDLT: non-positive pivot " + std::to_string(dk) + " at column " +
+                        std::to_string(k) + " (matrix is singular or not positive definite)");
+    }
+    d_[k] = dk;
+  }
+  factorized_ = true;
+}
+
+void SparseLdlt::solve(std::span<const double> b, std::span<double> x) {
+  const std::size_t n = dimension();
+  AQUA_REQUIRE(factorized_, "solve before factorize");
+  AQUA_REQUIRE(b.size() == n && x.size() == n, "solve: dimension mismatch");
+  AQUA_REQUIRE(b.data() != x.data(), "solve: b and x must not alias");
+
+  // work = P b; L work' = work; work'' = D^{-1} work'; L^T z = work'';
+  // x = P^T z.
+  for (std::size_t k = 0; k < n; ++k) work_[k] = b[perm_[k]];
+  for (std::size_t j = 0; j < n; ++j) {
+    const double xj = work_[j];
+    for (std::size_t p = lp_[j]; p < lp_[j + 1]; ++p) work_[li_[p]] -= lx_[p] * xj;
+  }
+  for (std::size_t k = 0; k < n; ++k) work_[k] /= d_[k];
+  for (std::size_t j = n; j-- > 0;) {
+    double xj = work_[j];
+    for (std::size_t p = lp_[j]; p < lp_[j + 1]; ++p) xj -= lx_[p] * work_[li_[p]];
+    work_[j] = xj;
+  }
+  for (std::size_t k = 0; k < n; ++k) x[perm_[k]] = work_[k];
+}
+
+std::vector<double> SparseLdlt::solve(std::span<const double> b) {
+  std::vector<double> x(dimension(), 0.0);
+  solve(b, x);
+  return x;
+}
+
+}  // namespace aqua::linalg

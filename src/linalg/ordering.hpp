@@ -1,0 +1,25 @@
+// Fill-reducing node orderings for sparse symmetric factorization. The
+// hydraulic node matrix has the sparsity of the water-network graph, and a
+// minimum-degree elimination order keeps the LDL^T factor nearly as sparse
+// as the matrix itself — the same idea EPANET 2 uses (its `smatrix.c`
+// reorders nodes by minimum degree before symbolic factorization).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace aqua::linalg {
+
+/// Minimum-degree elimination ordering for the symmetric sparsity pattern
+/// of `pattern` (values are ignored; the pattern is symmetrized
+/// internally). Returns `perm` with perm[k] = original index eliminated at
+/// step k. Deterministic: degree ties break on the lowest node index.
+std::vector<std::size_t> minimum_degree_ordering(const CsrMatrix& pattern);
+
+/// pinv[perm[k]] = k.
+std::vector<std::size_t> inverse_permutation(std::span<const std::size_t> perm);
+
+}  // namespace aqua::linalg

@@ -1,5 +1,6 @@
 #include "linalg/solvers.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -7,60 +8,87 @@
 
 namespace aqua::linalg {
 
-CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
-                            std::span<const double> x0, const CgOptions& options) {
+CgStats conjugate_gradient_into(const CsrMatrix& a, std::span<const double> b,
+                                std::span<double> x, CgWorkspace& ws,
+                                const CgOptions& options) {
   const std::size_t n = a.rows();
   AQUA_REQUIRE(b.size() == n, "conjugate_gradient dimension mismatch");
-  AQUA_REQUIRE(x0.empty() || x0.size() == n, "warm-start size mismatch");
+  AQUA_REQUIRE(x.size() == n, "conjugate_gradient solution size mismatch");
 
-  CgResult result;
-  result.x.assign(n, 0.0);
-  if (!x0.empty()) result.x.assign(x0.begin(), x0.end());
-
+  CgStats stats;
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
-    result.x.assign(n, 0.0);
-    result.converged = true;
-    return result;
+    std::fill(x.begin(), x.end(), 0.0);
+    stats.converged = true;
+    return stats;
   }
 
+  ws.r.resize(n);
+  ws.z.resize(n);
+  ws.p.resize(n);
+  ws.ap.resize(n);
+  ws.inv_diag.resize(n);
+
   // Jacobi preconditioner M = diag(A).
-  std::vector<double> inv_diag = a.diagonal();
-  for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+  {
+    const auto rp = a.row_pointers();
+    const auto ci = a.column_indices();
+    const auto av = a.values();
+    for (std::size_t r = 0; r < n; ++r) {
+      double d = 0.0;
+      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+        if (ci[k] == r) d = av[k];
+      }
+      ws.inv_diag[r] = (d != 0.0) ? 1.0 / d : 1.0;
+    }
+  }
 
-  std::vector<double> r = a.multiply(result.x);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-
-  std::vector<double> z(n), p(n);
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-  p = z;
-  double rz = dot(r, z);
+  a.multiply_into(x, ws.r);
+  for (std::size_t i = 0; i < n; ++i) ws.r[i] = b[i] - ws.r[i];
+  for (std::size_t i = 0; i < n; ++i) ws.z[i] = ws.inv_diag[i] * ws.r[i];
+  std::copy(ws.z.begin(), ws.z.end(), ws.p.begin());
+  double rz = dot(ws.r, ws.z);
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    const double rnorm = norm2(r);
-    result.relative_residual = rnorm / bnorm;
-    if (result.relative_residual < options.tolerance) {
-      result.iterations = it;
-      result.converged = true;
-      return result;
+    const double rnorm = norm2(ws.r);
+    stats.relative_residual = rnorm / bnorm;
+    if (stats.relative_residual < options.tolerance) {
+      stats.iterations = it;
+      stats.converged = true;
+      return stats;
     }
-    const std::vector<double> ap = a.multiply(p);
-    const double pap = dot(p, ap);
+    a.multiply_into(ws.p, ws.ap);
+    const double pap = dot(ws.p, ws.ap);
     if (pap <= 0.0 || !std::isfinite(pap)) {
       throw SolverError("conjugate_gradient: matrix is not positive definite");
     }
     const double alpha = rz / pap;
-    axpy(alpha, p, result.x);
-    axpy(-alpha, ap, r);
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-    const double rz_next = dot(r, z);
+    axpy(alpha, ws.p, x);
+    axpy(-alpha, ws.ap, ws.r);
+    for (std::size_t i = 0; i < n; ++i) ws.z[i] = ws.inv_diag[i] * ws.r[i];
+    const double rz_next = dot(ws.r, ws.z);
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    for (std::size_t i = 0; i < n; ++i) ws.p[i] = ws.z[i] + beta * ws.p[i];
   }
-  result.iterations = options.max_iterations;
-  result.relative_residual = norm2(r) / bnorm;
-  result.converged = result.relative_residual < options.tolerance;
+  stats.iterations = options.max_iterations;
+  stats.relative_residual = norm2(ws.r) / bnorm;
+  stats.converged = stats.relative_residual < options.tolerance;
+  return stats;
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<const double> x0, const CgOptions& options) {
+  const std::size_t n = a.rows();
+  AQUA_REQUIRE(x0.empty() || x0.size() == n, "warm-start size mismatch");
+  CgResult result;
+  result.x.assign(n, 0.0);
+  if (!x0.empty()) result.x.assign(x0.begin(), x0.end());
+  CgWorkspace ws;
+  const CgStats stats = conjugate_gradient_into(a, b, result.x, ws, options);
+  result.iterations = stats.iterations;
+  result.relative_residual = stats.relative_residual;
+  result.converged = stats.converged;
   return result;
 }
 

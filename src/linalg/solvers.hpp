@@ -1,5 +1,7 @@
 // Iterative solvers for the sparse SPD systems assembled by the hydraulic
-// Global Gradient Algorithm.
+// Global Gradient Algorithm. The direct (and default) alternative lives in
+// cholesky.hpp; CG is retained as the matrix-free fallback and for
+// cross-checking the factorization.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +23,28 @@ struct CgResult {
   double relative_residual = 0.0;
   bool converged = false;
 };
+
+/// Convergence info without the solution vector (the in-place API writes
+/// the solution into caller storage).
+struct CgStats {
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Caller-owned scratch for conjugate_gradient_into. Vectors are resized
+/// on first use and reused afterwards, so repeated solves of same-sized
+/// systems perform no allocation.
+struct CgWorkspace {
+  std::vector<double> r, z, p, ap, inv_diag;
+};
+
+/// Jacobi-preconditioned conjugate gradients for SPD `a`, allocation-free:
+/// `x` carries the warm start on entry and the solution on exit, and all
+/// temporaries live in `workspace`.
+CgStats conjugate_gradient_into(const CsrMatrix& a, std::span<const double> b,
+                                std::span<double> x, CgWorkspace& workspace,
+                                const CgOptions& options = {});
 
 /// Jacobi-preconditioned conjugate gradients for SPD `a`.
 /// `x0` (optional) warm-starts the iteration — the hydraulic solver reuses

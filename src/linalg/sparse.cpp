@@ -7,8 +7,15 @@
 namespace aqua::linalg {
 
 std::vector<double> CsrMatrix::multiply(std::span<const double> x) const {
-  AQUA_REQUIRE(x.size() == rows(), "CSR multiply dimension mismatch");
   std::vector<double> y(rows(), 0.0);
+  multiply_into(x, y);
+  return y;
+}
+
+void CsrMatrix::multiply_into(std::span<const double> x, std::span<double> y) const {
+  AQUA_REQUIRE(x.size() == rows(), "CSR multiply dimension mismatch");
+  AQUA_REQUIRE(y.size() == rows(), "CSR multiply output dimension mismatch");
+  AQUA_REQUIRE(x.data() != y.data(), "CSR multiply: x and y must not alias");
   for (std::size_t r = 0; r < rows(); ++r) {
     double sum = 0.0;
     for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
@@ -16,7 +23,6 @@ std::vector<double> CsrMatrix::multiply(std::span<const double> x) const {
     }
     y[r] = sum;
   }
-  return y;
 }
 
 std::vector<double> CsrMatrix::diagonal() const {

@@ -21,6 +21,11 @@ class CsrMatrix {
   /// y = A x.
   std::vector<double> multiply(std::span<const double> x) const;
 
+  /// y = A x into caller storage (`y.size() == rows()`); the hot-path
+  /// variant used by the allocation-free solvers. `x` and `y` must not
+  /// alias.
+  void multiply_into(std::span<const double> x, std::span<double> y) const;
+
   /// Diagonal entries (0 where a row has no stored diagonal).
   std::vector<double> diagonal() const;
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
 #include "linalg/solvers.hpp"
@@ -45,6 +46,15 @@ TEST(CsrMatrix, MultiplyMatchesDense) {
   EXPECT_DOUBLE_EQ(y[1], 0.0);
   EXPECT_DOUBLE_EQ(y[2], 0.0);
   EXPECT_DOUBLE_EQ(y[3], 5.0);
+}
+
+TEST(CsrMatrix, MultiplyIntoMatchesAllocatingMultiply) {
+  const CsrMatrix m = laplacian_chain(4);
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y(4, -99.0);
+  m.multiply_into(x, y);
+  EXPECT_EQ(y, m.multiply(x));
+  EXPECT_THROW(m.multiply_into(x, std::span<double>(y.data(), 3)), InvalidArgument);
 }
 
 TEST(CsrMatrix, DiagonalExtraction) {
@@ -111,6 +121,28 @@ TEST(ConjugateGradient, DetectsIndefiniteMatrix) {
 TEST(ConjugateGradient, DimensionMismatchThrows) {
   const CsrMatrix a = laplacian_chain(4);
   EXPECT_THROW(conjugate_gradient(a, std::vector<double>(3, 1.0)), InvalidArgument);
+}
+
+TEST(ConjugateGradient, WorkspaceVariantMatchesAllocatingVariant) {
+  const std::size_t n = 40;
+  const CsrMatrix a = laplacian_chain(n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = std::cos(0.2 * static_cast<double>(i));
+  const auto b = a.multiply(x_true);
+
+  CgWorkspace workspace;
+  std::vector<double> x(n, 0.0);
+  const auto stats = conjugate_gradient_into(a, b, x, workspace, {});
+  const auto reference = conjugate_gradient(a, b);
+  ASSERT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, reference.iterations);
+  EXPECT_EQ(x, reference.x);
+
+  // Reusing the workspace (now pre-sized) must give the same answer.
+  std::fill(x.begin(), x.end(), 0.0);
+  const auto again = conjugate_gradient_into(a, b, x, workspace, {});
+  ASSERT_TRUE(again.converged);
+  EXPECT_EQ(x, reference.x);
 }
 
 }  // namespace

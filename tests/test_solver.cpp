@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "hydraulics/headloss.hpp"
+#include "networks/builtin.hpp"
 
 namespace aqua::hydraulics {
 namespace {
@@ -146,6 +147,106 @@ TEST(GgaSolver, InvalidNetworkRejectedAtConstruction) {
   const NodeId b = net.add_junction("B", 0.0);
   net.add_pipe("P", a, b, 10.0, 0.1, 100.0);
   EXPECT_THROW(GgaSolver{net}, InvalidArgument);
+}
+
+TEST(GgaSolver, DefaultInnerSolverIsCholesky) {
+  EXPECT_EQ(SolverOptions{}.linear_solver, LinearSolver::kCholesky);
+}
+
+/// Solves one snapshot with the given inner solver, at tight tolerances so
+/// both solvers walk essentially the same Newton trajectory.
+HydraulicState solve_with(const Network& net, LinearSolver linear_solver) {
+  SolverOptions options;
+  options.linear_solver = linear_solver;
+  options.accuracy = 1e-10;
+  options.max_iterations = 2000;
+  // Tight inner tolerance so the CG path tracks the direct factorization
+  // to well below the 1e-8 agreement bound (heads are O(100) m).
+  options.cg.tolerance = 1e-14;
+  options.cg.max_iterations = 20000;
+  GgaSolver solver(net, options);
+  return solver.solve_snapshot();
+}
+
+void expect_inner_solvers_agree(const Network& net) {
+  const auto chol = solve_with(net, LinearSolver::kCholesky);
+  const auto cg = solve_with(net, LinearSolver::kConjugateGradient);
+  ASSERT_TRUE(chol.converged);
+  ASSERT_TRUE(cg.converged);
+  for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_NEAR(chol.head[v], cg.head[v], 1e-8) << net.name() << " head at node " << v;
+    EXPECT_NEAR(chol.pressure[v], cg.pressure[v], 1e-8);
+    EXPECT_NEAR(chol.emitter_outflow[v], cg.emitter_outflow[v], 1e-8);
+  }
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    EXPECT_NEAR(chol.flow[l], cg.flow[l], 1e-8) << net.name() << " flow on link " << l;
+  }
+}
+
+TEST(GgaSolver, CholeskyMatchesCgOnBuiltinNetworks) {
+  expect_inner_solvers_agree(networks::make_epa_net());
+  expect_inner_solvers_agree(networks::make_wssc_subnet());
+}
+
+TEST(GgaSolver, CholeskyMatchesCgOnBuiltinNetworksWithLeaks) {
+  auto epa = networks::make_epa_net();
+  auto epa_junctions = epa.junction_ids();
+  epa.set_emitter(epa_junctions[7], 0.003);
+  epa.set_emitter(epa_junctions[31], 0.005);
+  expect_inner_solvers_agree(epa);
+
+  auto wssc = networks::make_wssc_subnet();
+  auto wssc_junctions = wssc.junction_ids();
+  wssc.set_emitter(wssc_junctions[40], 0.004);
+  wssc.set_emitter(wssc_junctions[200], 0.006);
+  expect_inner_solvers_agree(wssc);
+}
+
+TEST(GgaSolver, WorkspaceReuseAcrossTimestepsIsBitIdentical) {
+  // An EPS-style sequence through one reused solver (workspace + symbolic
+  // factorization reused across every timestep) must be bit-identical to
+  // running each timestep on a freshly constructed solver.
+  const auto net = networks::make_epa_net();
+  const std::size_t n = net.num_nodes();
+  std::vector<double> fixed(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const Node& node = net.node(v);
+    if (node.type == NodeType::kReservoir) fixed[v] = node.elevation;
+    if (node.type == NodeType::kTank) fixed[v] = node.elevation + node.init_level;
+  }
+
+  GgaSolver reused(net);
+  HydraulicState previous;
+  bool have_previous = false;
+  for (std::size_t period = 0; period < 6; ++period) {
+    std::vector<double> demands(n, 0.0);
+    for (NodeId v = 0; v < n; ++v) demands[v] = net.demand_at(v, period);
+    const auto warm = have_previous ? &previous : nullptr;
+    const auto from_reused = reused.solve(demands, fixed, warm);
+
+    GgaSolver fresh(net);
+    const auto from_fresh = fresh.solve(demands, fixed, warm);
+
+    ASSERT_EQ(from_reused.iterations, from_fresh.iterations);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(from_reused.head[v], from_fresh.head[v]) << "period " << period;
+    }
+    for (LinkId l = 0; l < net.num_links(); ++l) {
+      EXPECT_EQ(from_reused.flow[l], from_fresh.flow[l]) << "period " << period;
+    }
+    previous = from_reused;
+    have_previous = true;
+  }
+}
+
+TEST(GgaSolver, CgInnerSolverStillWorksBehindOption) {
+  SolverOptions options;
+  options.linear_solver = LinearSolver::kConjugateGradient;
+  const Network net = single_pipe(20.0);
+  GgaSolver solver(net, options);
+  const auto state = solver.solve_snapshot();
+  ASSERT_TRUE(state.converged);
+  EXPECT_NEAR(state.flow[0], 0.020, 1e-6);
 }
 
 TEST(GgaSolver, TotalEmitterOutflowSums) {
