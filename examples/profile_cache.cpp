@@ -1,0 +1,131 @@
+// profile_cache — train-once / serve-many workflow on top of the versioned
+// model artifacts (src/io). Phase I (scenario simulation + profile
+// training) is the dominant cost of an AquaSCALE deployment; this tool
+// persists its output so Phase II workloads start from a warm artifact.
+//
+//   profile_cache train <epa|wssc> <out.model> [scenarios] [kind]
+//       simulate a scenario corpus, train the profile, save the artifact
+//   profile_cache eval <epa|wssc> <model.file> [scenarios]
+//       load the artifact and score it on a freshly simulated test corpus
+//
+// kinds: LinearR LogisticR GB RF SVM HybridRSL (default HybridRSL)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/aquascale.hpp"
+
+using namespace aqua;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  profile_cache train <epa|wssc> <out.model> [scenarios] [kind]\n"
+               "  profile_cache eval <epa|wssc> <model.file> [scenarios]\n");
+  return 2;
+}
+
+hydraulics::Network make_network(const std::string& which) {
+  if (which == "epa") return networks::make_epa_net();
+  if (which == "wssc") return networks::make_wssc_subnet();
+  throw InvalidArgument("unknown network: " + which);
+}
+
+core::ModelKind parse_kind(const std::string& name) {
+  for (const auto kind : core::all_model_kinds()) {
+    if (core::model_kind_name(kind) == name) return kind;
+  }
+  throw InvalidArgument("unknown model kind: " + name);
+}
+
+struct Corpus {
+  std::vector<core::LeakScenario> scenarios;
+  std::unique_ptr<core::SnapshotBatch> batch;
+};
+
+Corpus simulate(const hydraulics::Network& network, std::size_t count, std::uint64_t seed) {
+  core::ScenarioConfig config;
+  config.seed = seed;
+  core::ScenarioGenerator generator(network, config);
+  Corpus corpus;
+  corpus.scenarios = generator.generate(count);
+  corpus.batch = std::make_unique<core::SnapshotBatch>(network, corpus.scenarios,
+                                                       std::vector<std::size_t>{1});
+  return corpus;
+}
+
+int cmd_train(const std::string& which, const std::string& out_path, std::size_t count,
+              const std::string& kind_name) {
+  core::ProfileTrainingConfig training;
+  training.kind = parse_kind(kind_name);  // fail before the expensive simulation
+
+  const auto network = make_network(which);
+  std::printf("simulating %zu training scenarios on %s...\n", count, network.name().c_str());
+  const Corpus corpus = simulate(network, count, /*seed=*/1234);
+  const auto sensors = sensing::full_observation(network);
+  const auto profile =
+      core::train_profile(*corpus.batch, corpus.scenarios, sensors, /*elapsed_index=*/0, training);
+  std::printf("trained %s profile (%zu labels, %zu sensors) in %.2fs\n", kind_name.c_str(),
+              profile.model.num_labels(), sensors.size(), profile.train_seconds);
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw InvalidArgument("cannot write " + out_path);
+  profile.save(out);
+  out.flush();
+  std::printf("saved artifact to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_eval(const std::string& which, const std::string& model_path, std::size_t count) {
+  const auto network = make_network(which);
+
+  std::ifstream in(model_path, std::ios::binary);
+  if (!in) throw InvalidArgument("cannot open " + model_path);
+  const auto profile = core::ProfileModel::load(in);
+  std::printf("loaded %s profile (%zu labels, %zu sensors) — skipping Phase I\n",
+              core::model_kind_name(profile.kind).c_str(), profile.model.num_labels(),
+              profile.sensors.size());
+
+  std::printf("simulating %zu test scenarios on %s...\n", count, network.name().c_str());
+  const Corpus corpus = simulate(network, count, /*seed=*/777);
+  const auto dataset =
+      corpus.batch->build_dataset(corpus.scenarios, profile.sensors, profile.elapsed_index,
+                                  profile.noise, /*seed=*/4321, profile.include_time_feature);
+
+  const auto predicted = profile.model.predict_batch(dataset.features);
+  std::vector<ml::Labels> truth;
+  truth.reserve(corpus.scenarios.size());
+  for (const auto& s : corpus.scenarios) truth.push_back(s.truth);
+
+  const double hamming = ml::mean_hamming_score(predicted, truth);
+  const auto prf = ml::micro_precision_recall(predicted, truth);
+  std::printf("hamming %.3f, precision %.3f, recall %.3f, f1 %.3f over %zu scenarios\n", hamming,
+              prf.precision, prf.recall, prf.f1, corpus.scenarios.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 4) return usage();
+    const std::string command = argv[1];
+    const std::string network = argv[2];
+    const std::string path = argv[3];
+    if (command == "train") {
+      const std::size_t count = argc > 4 ? std::stoul(argv[4]) : 200;
+      const std::string kind = argc > 5 ? argv[5] : "HybridRSL";
+      return cmd_train(network, path, count, kind);
+    }
+    if (command == "eval") {
+      const std::size_t count = argc > 4 ? std::stoul(argv[4]) : 50;
+      return cmd_eval(network, path, count);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -6,6 +6,12 @@
 
 namespace aqua {
 
+namespace {
+// Pool the current thread works for (nullptr off-pool). Lets parallel_for
+// detect re-entrant calls from its own workers.
+thread_local ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
@@ -38,9 +44,14 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+bool ThreadPool::on_worker_thread() const noexcept { return t_worker_pool == this; }
+
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() == 1) {
+  // A nested call from one of our own workers must not block on futures:
+  // the chunk tasks would sit in the queue behind the very task that is
+  // waiting for them. Run inline instead.
+  if (n == 1 || workers_.size() == 1 || on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -57,8 +68,19 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       }
     }));
   }
-  // get() rethrows the first exception a worker hit.
-  for (auto& future : futures) future.get();
+  // Wait for every chunk before unwinding: the chunk lambdas capture this
+  // frame's locals, so returning (or throwing) while any of them still runs
+  // would leave workers reading a dead stack frame. Rethrow the first
+  // exception only once all chunks are done.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -67,6 +89,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -30,7 +30,13 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Safe to call from inside one of this pool's own workers: a nested
+  /// call runs the loop inline on the calling thread instead of blocking
+  /// on queue slots behind its own task (which would deadlock).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
 
   /// Process-wide shared pool for library internals.
   static ThreadPool& global();

@@ -24,7 +24,9 @@
 #include "hydraulics/network.hpp"
 #include "hydraulics/simulation.hpp"
 #include "hydraulics/solver.hpp"
+#include "io/artifact.hpp"
 #include "ml/metrics.hpp"
+#include "ml/model_io.hpp"
 #include "networks/builtin.hpp"
 #include "networks/generator.hpp"
 #include "sensing/placement.hpp"

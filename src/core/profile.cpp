@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "io/artifact.hpp"
 #include "ml/gradient_boosting.hpp"
 #include "ml/hybrid_rsl.hpp"
 #include "ml/linear_models.hpp"
@@ -50,6 +51,48 @@ ml::ClassifierFactory make_classifier_factory(ModelKind kind) {
       return [] { return std::make_unique<ml::HybridRslClassifier>(); };
   }
   throw InvalidArgument("unknown model kind");
+}
+
+void ProfileModel::save(std::ostream& out) const {
+  io::ArtifactWriter artifact;
+  auto& meta = artifact.section("profile");
+  meta.write_u8(static_cast<std::uint8_t>(kind));
+  meta.write_u64(elapsed_index);
+  meta.write_bool(include_time_feature);
+  meta.write_f64(train_seconds);
+  sensors.save(artifact.section("sensors"));
+  noise.save(artifact.section("noise"));
+  model.save(artifact.section("model"));
+  artifact.write_to(out);
+}
+
+ProfileModel ProfileModel::load(std::istream& in) {
+  const io::ArtifactReader artifact(in);
+  ProfileModel profile;
+
+  auto meta = artifact.section("profile");
+  const std::uint8_t kind = meta.read_u8();
+  if (kind > static_cast<std::uint8_t>(ModelKind::kHybridRsl)) {
+    throw io::SerializationError("malformed profile: unknown model kind tag");
+  }
+  profile.kind = static_cast<ModelKind>(kind);
+  profile.elapsed_index = meta.read_u64();
+  profile.include_time_feature = meta.read_bool();
+  profile.train_seconds = meta.read_f64();
+  meta.expect_end();
+
+  auto sensors_reader = artifact.section("sensors");
+  profile.sensors = sensing::SensorSet::load(sensors_reader);
+  sensors_reader.expect_end();
+
+  auto noise_reader = artifact.section("noise");
+  profile.noise = sensing::NoiseModel::load(noise_reader);
+  noise_reader.expect_end();
+
+  auto model_reader = artifact.section("model");
+  profile.model = ml::MultiLabelModel::load(model_reader);
+  model_reader.expect_end();
+  return profile;
 }
 
 ProfileModel train_profile(const SnapshotBatch& batch, std::span<const LeakScenario> scenarios,

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "core/label_space.hpp"
@@ -41,6 +42,15 @@ struct ProfileModel {
   ModelKind kind = ModelKind::kHybridRsl;
   std::size_t elapsed_index = 0;  // which entry of the batch's elapsed list
   double train_seconds = 0.0;
+
+  /// Persists the trained profile as a versioned, checksummed artifact
+  /// (io/artifact.hpp). `load(save(p))` predicts bit-identically to `p`, so
+  /// Phase II services can skip Phase I entirely on a warm artifact.
+  void save(std::ostream& out) const;
+
+  /// Restores a profile written by save(); throws io::SerializationError on
+  /// truncated, corrupted, or wrong-version artifacts.
+  static ProfileModel load(std::istream& in);
 };
 
 struct ProfileTrainingConfig {

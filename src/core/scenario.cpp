@@ -11,7 +11,8 @@ ScenarioGenerator::ScenarioGenerator(const hydraulics::Network& network, Scenari
       config_(config),
       labels_(network),
       rng_(config.seed),
-      slot_seconds_(900.0) {
+      slot_seconds_(config.hydraulic_step_s) {
+  AQUA_REQUIRE(config_.hydraulic_step_s > 0.0, "slot length must be positive");
   AQUA_REQUIRE(config_.min_events >= 1, "scenarios need at least one event");
   AQUA_REQUIRE(config_.max_events >= config_.min_events, "max events below min");
   AQUA_REQUIRE(config_.max_events <= labels_.num_labels(),

@@ -31,6 +31,11 @@ struct ScenarioConfig {
   double ec_max = 0.0090;
   std::size_t min_leak_slot = 4;  // e.t randomized across the day
   std::size_t max_leak_slot = 40;
+  /// Seconds per IoT slot. Must equal the hydraulic step the scenarios are
+  /// later simulated with (SimulationOptions::hydraulic_step_s), so that
+  /// LeakEvent::start_time_s and the batch's snapshot indices agree;
+  /// SnapshotBatch enforces the consistency.
+  double hydraulic_step_s = 900.0;
   bool cold_weather = false;      // freeze-driven multi-failure
   fusion::FreezeModel freeze;
   double cold_temperature_f = 12.0;  // ambient during cold scenarios

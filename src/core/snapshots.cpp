@@ -23,6 +23,16 @@ SnapshotBatch::SnapshotBatch(const hydraulics::Network& network,
   auto run_one = [&](std::size_t i) {
     const LeakScenario& scenario = scenarios[i];
     hydraulics::SimulationOptions run_options = options;
+    AQUA_REQUIRE(scenario.leak_slot >= 1, "leak slot must have a predecessor");
+    // The scenario's event times were laid out on the generator's slot
+    // grid; snapshot indices below assume the same grid, so the two slot
+    // lengths must agree (see ScenarioConfig::hydraulic_step_s).
+    const double slot_start =
+        static_cast<double>(scenario.leak_slot) * run_options.hydraulic_step_s;
+    for (const auto& event : scenario.events) {
+      AQUA_REQUIRE(std::abs(event.start_time_s - slot_start) <= 1e-6,
+                   "scenario slot length disagrees with the simulation hydraulic step");
+    }
     // Simulate just past the last snapshot we need.
     run_options.duration_s =
         static_cast<double>(scenario.leak_slot + max_elapsed) * run_options.hydraulic_step_s;
@@ -34,7 +44,6 @@ SnapshotBatch::SnapshotBatch(const hydraulics::Network& network,
     const std::size_t nodes = results.num_nodes();
     const std::size_t links = results.num_links();
     const std::size_t before = scenario.leak_slot - 1;
-    AQUA_REQUIRE(scenario.leak_slot >= 1, "leak slot must have a predecessor");
     snap.before_pressure.resize(nodes);
     snap.before_flow.resize(links);
     for (std::size_t v = 0; v < nodes; ++v) snap.before_pressure[v] = results.pressure(before, v);

@@ -84,8 +84,27 @@ SimulationResults Simulation::run() {
 
   // Tank state: level above tank elevation, starting from init_level.
   std::vector<double> tank_level(n, 0.0);
+  // Tank-incident links, gathered once: integrating levels by scanning all
+  // links for every node each step is O(nodes * links) per step.
+  struct TankLinks {
+    NodeId node;
+    double area;
+    std::vector<std::pair<LinkId, double>> links;  // link id, inflow sign
+  };
+  std::vector<TankLinks> tanks;
   for (NodeId v = 0; v < n; ++v) {
-    if (network_.node(v).type == NodeType::kTank) tank_level[v] = network_.node(v).init_level;
+    const Node& node = network_.node(v);
+    if (node.type != NodeType::kTank) continue;
+    tank_level[v] = node.init_level;
+    const double area = 0.25 * 3.141592653589793 * node.diameter * node.diameter;
+    tanks.push_back({v, area, {}});
+  }
+  for (LinkId l = 0; l < network_.num_links(); ++l) {
+    const Link& link = network_.link(l);
+    for (auto& tank : tanks) {
+      if (link.to == tank.node) tank.links.emplace_back(l, 1.0);
+      if (link.from == tank.node) tank.links.emplace_back(l, -1.0);
+    }
   }
 
   std::vector<double> demands(n, 0.0), fixed(n, 0.0);
@@ -118,18 +137,12 @@ SimulationResults Simulation::run() {
 
     // Integrate tank levels over the step (explicit Euler, clamped).
     if (step + 1 < steps) {
-      for (NodeId v = 0; v < n; ++v) {
-        const Node& node = network_.node(v);
-        if (node.type != NodeType::kTank) continue;
+      for (const auto& tank : tanks) {
         double net_inflow = 0.0;
-        for (LinkId l = 0; l < network_.num_links(); ++l) {
-          const Link& link = network_.link(l);
-          if (link.to == v) net_inflow += state.flow[l];
-          if (link.from == v) net_inflow -= state.flow[l];
-        }
-        const double area = 0.25 * 3.141592653589793 * node.diameter * node.diameter;
-        tank_level[v] += net_inflow * options_.hydraulic_step_s / area;
-        tank_level[v] = std::clamp(tank_level[v], node.min_level, node.max_level);
+        for (const auto& [l, sign] : tank.links) net_inflow += sign * state.flow[l];
+        const Node& node = network_.node(tank.node);
+        tank_level[tank.node] += net_inflow * options_.hydraulic_step_s / tank.area;
+        tank_level[tank.node] = std::clamp(tank_level[tank.node], node.min_level, node.max_level);
       }
     }
 

@@ -1,0 +1,114 @@
+#include "io/artifact.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+
+namespace aqua::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'A', 'Q', 'U', 'A', 'M', 'O', 'D', 'L'};
+constexpr std::uint32_t kMaxSections = 1024;
+constexpr std::uint32_t kMaxSectionName = 256;
+
+std::string read_exact(std::istream& in, std::size_t count, const char* what) {
+  std::string bytes(count, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(count));
+  if (static_cast<std::size_t>(in.gcount()) != count) {
+    throw SerializationError(std::string("truncated artifact while reading ") + what);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+BinaryWriter& ArtifactWriter::section(const std::string& name) {
+  for (const auto& s : sections_) {
+    if (s->name == name) throw SerializationError("duplicate artifact section: " + name);
+  }
+  sections_.push_back(std::make_unique<Section>(Section{name, BinaryWriter{}}));
+  return sections_.back()->writer;
+}
+
+void ArtifactWriter::write_to(std::ostream& out) const {
+  BinaryWriter header;
+  for (char c : kMagic) header.write_u8(static_cast<std::uint8_t>(c));
+  header.write_u32(version_);
+  header.write_u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& s : sections_) {
+    header.write_string(s->name);
+    header.write_u64(s->writer.size());
+    header.write_u32(crc32(s->writer.buffer()));
+  }
+  out.write(header.buffer().data(), static_cast<std::streamsize>(header.size()));
+  for (const auto& s : sections_) {
+    out.write(s->writer.buffer().data(), static_cast<std::streamsize>(s->writer.size()));
+  }
+  if (!out) throw SerializationError("stream write failed while saving artifact");
+}
+
+ArtifactReader::ArtifactReader(std::istream& in) {
+  const std::string magic = read_exact(in, kMagic.size(), "magic");
+  if (!std::equal(magic.begin(), magic.end(), kMagic.begin())) {
+    throw SerializationError("not an AquaSCALE model artifact (bad magic)");
+  }
+
+  const std::string fixed = read_exact(in, 8, "header");
+  BinaryReader fixed_reader(fixed);
+  version_ = fixed_reader.read_u32();
+  const std::uint32_t count = fixed_reader.read_u32();
+  if (version_ != kFormatVersion) {
+    throw SerializationError("unsupported artifact format version " + std::to_string(version_) +
+                             " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  if (count > kMaxSections) throw SerializationError("malformed artifact: section count");
+
+  struct Entry {
+    std::string name;
+    std::uint64_t size;
+    std::uint32_t crc;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Table entries have a string (variable length), so read piecewise.
+    const std::string len_bytes = read_exact(in, 4, "section table");
+    const std::uint32_t name_len = BinaryReader(len_bytes).read_u32();
+    if (name_len == 0 || name_len > kMaxSectionName) {
+      throw SerializationError("malformed artifact: section name length");
+    }
+    Entry entry;
+    entry.name = read_exact(in, name_len, "section name");
+    const std::string rest = read_exact(in, 12, "section table");
+    BinaryReader rest_reader(rest);
+    entry.size = rest_reader.read_u64();
+    entry.crc = rest_reader.read_u32();
+    entries.push_back(std::move(entry));
+  }
+
+  for (const auto& entry : entries) {
+    std::string payload = read_exact(in, entry.size, ("section '" + entry.name + "'").c_str());
+    if (crc32(payload) != entry.crc) {
+      throw SerializationError("checksum mismatch in artifact section '" + entry.name +
+                               "' (corrupted artifact)");
+    }
+    if (!payloads_.emplace(entry.name, std::move(payload)).second) {
+      throw SerializationError("duplicate artifact section: " + entry.name);
+    }
+  }
+}
+
+bool ArtifactReader::has_section(const std::string& name) const {
+  return payloads_.count(name) != 0;
+}
+
+BinaryReader ArtifactReader::section(const std::string& name) const {
+  const auto it = payloads_.find(name);
+  if (it == payloads_.end()) {
+    throw SerializationError("artifact is missing required section '" + name + "'");
+  }
+  return BinaryReader(it->second);
+}
+
+}  // namespace aqua::io

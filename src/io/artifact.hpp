@@ -1,0 +1,72 @@
+// Versioned, checksummed artifact container for persisted models (the
+// bridge between Phase I training and Phase II serving). File layout:
+//
+//   magic        8 bytes  "AQUAMODL"
+//   version      u32      format version (kFormatVersion)
+//   sections     u32      section count
+//   table        per section: name (u32 len + bytes), payload size (u64),
+//                CRC-32 of the payload (u32)
+//   payloads     section payloads concatenated in table order
+//
+// Readers are strict: unknown magic, unsupported version, truncation, and
+// checksum mismatches all raise io::SerializationError. See DESIGN.md
+// ("Model artifact format") for the compatibility policy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/binary.hpp"
+
+namespace aqua::io {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Collects named sections in memory, then emits the container.
+class ArtifactWriter {
+ public:
+  explicit ArtifactWriter(std::uint32_t version = kFormatVersion) : version_(version) {}
+
+  /// Starts a new section and returns the writer for its payload. The
+  /// reference stays valid for the ArtifactWriter's lifetime. Section names
+  /// must be unique.
+  BinaryWriter& section(const std::string& name);
+
+  /// Writes magic + version + table + payloads to the stream.
+  void write_to(std::ostream& out) const;
+
+ private:
+  struct Section {
+    std::string name;
+    BinaryWriter writer;
+  };
+
+  std::uint32_t version_;
+  std::vector<std::unique_ptr<Section>> sections_;
+};
+
+/// Parses a container fully into memory, validating structure and
+/// checksums up front; sections are then decoded on demand.
+class ArtifactReader {
+ public:
+  /// Reads and validates the whole artifact; throws SerializationError on
+  /// any structural problem.
+  explicit ArtifactReader(std::istream& in);
+
+  std::uint32_t version() const noexcept { return version_; }
+  bool has_section(const std::string& name) const;
+
+  /// Reader over a section's payload; throws if the section is absent. The
+  /// returned reader views memory owned by this ArtifactReader.
+  BinaryReader section(const std::string& name) const;
+
+ private:
+  std::uint32_t version_ = 0;
+  std::map<std::string, std::string> payloads_;
+};
+
+}  // namespace aqua::io

@@ -13,6 +13,11 @@
 
 #include "ml/dataset.hpp"
 
+namespace aqua::io {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace aqua::io
+
 namespace aqua::ml {
 
 /// A probabilistic binary classifier (scikit-learn's fit / predict /
@@ -37,6 +42,15 @@ class BinaryClassifier {
   virtual std::unique_ptr<BinaryClassifier> clone_config() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Serializes hyper-parameters and all fitted state; a load_state() of
+  /// the written bytes must reproduce bit-identical predict_proba output.
+  /// Framing (classifier kind tag) is handled by ml/model_io.hpp.
+  virtual void save_state(io::BinaryWriter& writer) const = 0;
+
+  /// Restores state written by save_state(); throws io::SerializationError
+  /// on malformed input.
+  virtual void load_state(io::BinaryReader& reader) = 0;
 };
 
 /// Balanced per-class sample weights: w_pos * n_pos == w_neg * n_neg, mean

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/binary.hpp"
 
 namespace aqua::ml {
 
@@ -118,6 +119,19 @@ std::vector<double> StandardScaler::transform_row(std::span<const double> row) c
   std::vector<double> out(row.size());
   for (std::size_t c = 0; c < row.size(); ++c) out[c] = (row[c] - mean_[c]) * inv_std_[c];
   return out;
+}
+
+void StandardScaler::save(io::BinaryWriter& writer) const {
+  writer.write_f64_vector(mean_);
+  writer.write_f64_vector(inv_std_);
+}
+
+void StandardScaler::load(io::BinaryReader& reader) {
+  mean_ = reader.read_f64_vector();
+  inv_std_ = reader.read_f64_vector();
+  if (inv_std_.size() != mean_.size()) {
+    throw io::SerializationError("scaler mean/std length mismatch");
+  }
 }
 
 }  // namespace aqua::ml

@@ -16,6 +16,11 @@
 #include "common/rng.hpp"
 #include "linalg/dense.hpp"
 
+namespace aqua::io {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace aqua::io
+
 namespace aqua::ml {
 
 using linalg::Matrix;
@@ -53,6 +58,9 @@ class StandardScaler {
   Matrix transform(const Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> row) const;
   bool fitted() const noexcept { return !mean_.empty(); }
+
+  void save(io::BinaryWriter& writer) const;
+  void load(io::BinaryReader& reader);
 
  private:
   std::vector<double> mean_;

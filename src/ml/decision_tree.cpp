@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "io/binary.hpp"
 
 namespace aqua::ml {
 
@@ -327,6 +328,51 @@ std::size_t RegressionTree::depth() const noexcept {
     }
   }
   return max_depth;
+}
+
+void RegressionTree::save(io::BinaryWriter& writer) const {
+  writer.write_u64(config_.max_depth);
+  writer.write_u64(config_.min_samples_split);
+  writer.write_u64(config_.min_samples_leaf);
+  writer.write_u64(config_.max_features);
+  writer.write_u64(config_.seed);
+  writer.write_u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.write_i32(node.feature);
+    writer.write_f64(node.threshold);
+    writer.write_f64(node.value);
+    writer.write_i32(node.left);
+    writer.write_i32(node.right);
+  }
+}
+
+void RegressionTree::load(io::BinaryReader& reader) {
+  config_.max_depth = reader.read_u64();
+  config_.min_samples_split = reader.read_u64();
+  config_.min_samples_leaf = reader.read_u64();
+  config_.max_features = reader.read_u64();
+  config_.seed = reader.read_u64();
+  const std::uint64_t count = reader.read_u64();
+  if (count > (std::uint64_t{1} << 32)) throw io::SerializationError("malformed tree node count");
+  nodes_.clear();
+  nodes_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Node node;
+    node.feature = reader.read_i32();
+    node.threshold = reader.read_f64();
+    node.value = reader.read_f64();
+    node.left = reader.read_i32();
+    node.right = reader.read_i32();
+    // Child indices must stay inside the node array so a corrupt tree can
+    // never send predict() out of bounds.
+    if (node.feature >= 0) {
+      const auto n = static_cast<std::int64_t>(count);
+      if (node.left < 0 || node.right < 0 || node.left >= n || node.right >= n) {
+        throw io::SerializationError("malformed tree: child index out of range");
+      }
+    }
+    nodes_.push_back(node);
+  }
 }
 
 }  // namespace aqua::ml

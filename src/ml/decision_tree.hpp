@@ -12,6 +12,11 @@
 #include "linalg/dense.hpp"
 #include "ml/binning.hpp"
 
+namespace aqua::io {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace aqua::io
+
 namespace aqua::ml {
 
 struct TreeConfig {
@@ -52,6 +57,9 @@ class RegressionTree {
   bool fitted() const noexcept { return !nodes_.empty(); }
   std::size_t node_count() const noexcept { return nodes_.size(); }
   std::size_t depth() const noexcept;
+
+  void save(io::BinaryWriter& writer) const;
+  void load(io::BinaryReader& reader);
 
  private:
   struct Node {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/binary.hpp"
 #include "ml/linear_models.hpp"
 
 namespace aqua::ml {
@@ -83,6 +84,36 @@ double GradientBoostingClassifier::predict_proba(std::span<const double> x) cons
 
 std::unique_ptr<BinaryClassifier> GradientBoostingClassifier::clone_config() const {
   return std::make_unique<GradientBoostingClassifier>(config_);
+}
+
+void GradientBoostingClassifier::save_state(io::BinaryWriter& writer) const {
+  writer.write_u64(config_.num_rounds);
+  writer.write_f64(config_.learning_rate);
+  writer.write_u64(config_.max_depth);
+  writer.write_u64(config_.min_samples_leaf);
+  writer.write_f64(config_.subsample);
+  writer.write_u64(config_.seed);
+  writer.write_f64(base_score_);
+  writer.write_bool(constant_);
+  writer.write_f64(constant_probability_);
+  writer.write_u64(trees_.size());
+  for (const auto& tree : trees_) tree.save(writer);
+}
+
+void GradientBoostingClassifier::load_state(io::BinaryReader& reader) {
+  config_.num_rounds = reader.read_u64();
+  config_.learning_rate = reader.read_f64();
+  config_.max_depth = reader.read_u64();
+  config_.min_samples_leaf = reader.read_u64();
+  config_.subsample = reader.read_f64();
+  config_.seed = reader.read_u64();
+  base_score_ = reader.read_f64();
+  constant_ = reader.read_bool();
+  constant_probability_ = reader.read_f64();
+  const std::uint64_t count = reader.read_u64();
+  if (count > (std::uint64_t{1} << 24)) throw io::SerializationError("malformed ensemble size");
+  trees_.assign(count, RegressionTree{});
+  for (auto& tree : trees_) tree.load(reader);
 }
 
 }  // namespace aqua::ml

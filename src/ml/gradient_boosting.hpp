@@ -26,6 +26,8 @@ class GradientBoostingClassifier final : public BinaryClassifier {
   double predict_proba(std::span<const double> x) const override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "GB"; }
+  void save_state(io::BinaryWriter& writer) const override;
+  void load_state(io::BinaryReader& reader) override;
 
   std::size_t num_rounds_fitted() const noexcept { return trees_.size(); }
 

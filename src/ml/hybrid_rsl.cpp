@@ -1,6 +1,7 @@
 #include "ml/hybrid_rsl.hpp"
 
 #include "common/error.hpp"
+#include "io/binary.hpp"
 
 namespace aqua::ml {
 
@@ -38,6 +39,52 @@ double HybridRslClassifier::predict_proba(std::span<const double> x) const {
 
 std::unique_ptr<BinaryClassifier> HybridRslClassifier::clone_config() const {
   return std::make_unique<HybridRslClassifier>(config_);
+}
+
+void HybridRslClassifier::save_state(io::BinaryWriter& writer) const {
+  writer.write_u64(config_.forest.num_trees);
+  writer.write_u64(config_.forest.max_depth);
+  writer.write_u64(config_.forest.min_samples_leaf);
+  writer.write_u64(config_.forest.max_features);
+  writer.write_f64(config_.forest.max_features_fraction);
+  writer.write_u64(config_.forest.seed);
+  write_sgd_config(writer, config_.svm.sgd);
+  writer.write_u64(config_.svm.rff_dimension);
+  writer.write_f64(config_.svm.rff_gamma);
+  writer.write_u64(config_.svm.seed);
+  write_sgd_config(writer, config_.meta);
+  writer.write_bool(constant_);
+  writer.write_f64(constant_probability_);
+  // The stacked members persist their own hyper-parameters alongside their
+  // fitted state. A constant model never fit them, so their state would be
+  // the unfitted default (which the members' own load-time validation
+  // rejects); prediction never consults them either, so skip them.
+  if (!constant_) {
+    forest_.save_state(writer);
+    svm_.save_state(writer);
+    meta_.save_state(writer);
+  }
+}
+
+void HybridRslClassifier::load_state(io::BinaryReader& reader) {
+  config_.forest.num_trees = reader.read_u64();
+  config_.forest.max_depth = reader.read_u64();
+  config_.forest.min_samples_leaf = reader.read_u64();
+  config_.forest.max_features = reader.read_u64();
+  config_.forest.max_features_fraction = reader.read_f64();
+  config_.forest.seed = reader.read_u64();
+  config_.svm.sgd = read_sgd_config(reader);
+  config_.svm.rff_dimension = reader.read_u64();
+  config_.svm.rff_gamma = reader.read_f64();
+  config_.svm.seed = reader.read_u64();
+  config_.meta = read_sgd_config(reader);
+  constant_ = reader.read_bool();
+  constant_probability_ = reader.read_f64();
+  if (!constant_) {
+    forest_.load_state(reader);
+    svm_.load_state(reader);
+    meta_.load_state(reader);
+  }
 }
 
 }  // namespace aqua::ml

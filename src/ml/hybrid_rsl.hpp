@@ -26,6 +26,8 @@ class HybridRslClassifier final : public BinaryClassifier {
   double predict_proba(std::span<const double> x) const override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "HybridRSL"; }
+  void save_state(io::BinaryWriter& writer) const override;
+  void load_state(io::BinaryReader& reader) override;
 
   const RandomForestClassifier& forest() const noexcept { return forest_; }
   const SvmClassifier& svm() const noexcept { return svm_; }

@@ -4,8 +4,27 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/binary.hpp"
 
 namespace aqua::ml {
+
+void write_sgd_config(io::BinaryWriter& writer, const SgdConfig& config) {
+  writer.write_u64(config.epochs);
+  writer.write_u64(config.batch_size);
+  writer.write_f64(config.learning_rate);
+  writer.write_f64(config.l2);
+  writer.write_u64(config.seed);
+}
+
+SgdConfig read_sgd_config(io::BinaryReader& reader) {
+  SgdConfig config;
+  config.epochs = reader.read_u64();
+  config.batch_size = reader.read_u64();
+  config.learning_rate = reader.read_f64();
+  config.l2 = reader.read_f64();
+  config.seed = reader.read_u64();
+  return config;
+}
 
 double sigmoid(double z) noexcept {
   if (z >= 0.0) {
@@ -113,6 +132,30 @@ void LinearModelCore::fit(const Matrix& x, const Labels& y) {
   }
 }
 
+void LinearModelCore::save(io::BinaryWriter& writer) const {
+  writer.write_u8(static_cast<std::uint8_t>(loss_));
+  write_sgd_config(writer, config_);
+  scaler_.save(writer);
+  writer.write_f64_vector(weights_);
+  writer.write_f64(bias_);
+  writer.write_bool(constant_);
+  writer.write_f64(constant_probability_);
+}
+
+void LinearModelCore::load(io::BinaryReader& reader) {
+  const std::uint8_t loss = reader.read_u8();
+  if (loss > static_cast<std::uint8_t>(LinearLoss::kHinge)) {
+    throw io::SerializationError("malformed linear-model loss tag");
+  }
+  loss_ = static_cast<LinearLoss>(loss);
+  config_ = read_sgd_config(reader);
+  scaler_.load(reader);
+  weights_ = reader.read_f64_vector();
+  bias_ = reader.read_f64();
+  constant_ = reader.read_bool();
+  constant_probability_ = reader.read_f64();
+}
+
 double LinearModelCore::decision(std::span<const double> x) const {
   AQUA_REQUIRE(!constant_, "decision() on a degenerate constant model");
   const std::vector<double> xs = scaler_.transform_row(x);
@@ -137,6 +180,16 @@ std::unique_ptr<BinaryClassifier> LinearRegressionClassifier::clone_config() con
   return std::make_unique<LinearRegressionClassifier>(config_);
 }
 
+void LinearRegressionClassifier::save_state(io::BinaryWriter& writer) const {
+  write_sgd_config(writer, config_);
+  core_.save(writer);
+}
+
+void LinearRegressionClassifier::load_state(io::BinaryReader& reader) {
+  config_ = read_sgd_config(reader);
+  core_.load(reader);
+}
+
 LogisticRegressionClassifier::LogisticRegressionClassifier(SgdConfig config)
     : config_(config), core_(detail::LinearLoss::kLogistic, config) {}
 
@@ -149,6 +202,16 @@ double LogisticRegressionClassifier::predict_proba(std::span<const double> x) co
 
 std::unique_ptr<BinaryClassifier> LogisticRegressionClassifier::clone_config() const {
   return std::make_unique<LogisticRegressionClassifier>(config_);
+}
+
+void LogisticRegressionClassifier::save_state(io::BinaryWriter& writer) const {
+  write_sgd_config(writer, config_);
+  core_.save(writer);
+}
+
+void LogisticRegressionClassifier::load_state(io::BinaryReader& reader) {
+  config_ = read_sgd_config(reader);
+  core_.load(reader);
 }
 
 }  // namespace aqua::ml

@@ -33,6 +33,9 @@ class LinearModelCore {
   double constant_probability() const noexcept { return constant_probability_; }
   const std::vector<double>& weights() const noexcept { return weights_; }
 
+  void save(io::BinaryWriter& writer) const;
+  void load(io::BinaryReader& reader);
+
  private:
   LinearLoss loss_;
   SgdConfig config_;
@@ -60,6 +63,8 @@ class LinearRegressionClassifier final : public BinaryClassifier {
   double predict_proba(std::span<const double> x) const override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "LinearR"; }
+  void save_state(io::BinaryWriter& writer) const override;
+  void load_state(io::BinaryReader& reader) override;
 
  private:
   SgdConfig config_;
@@ -74,6 +79,8 @@ class LogisticRegressionClassifier final : public BinaryClassifier {
   double predict_proba(std::span<const double> x) const override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "LogisticR"; }
+  void save_state(io::BinaryWriter& writer) const override;
+  void load_state(io::BinaryReader& reader) override;
 
  private:
   SgdConfig config_;
@@ -82,5 +89,9 @@ class LogisticRegressionClassifier final : public BinaryClassifier {
 
 /// Numerically safe sigmoid.
 double sigmoid(double z) noexcept;
+
+/// SgdConfig framing shared by every classifier that embeds one.
+void write_sgd_config(io::BinaryWriter& writer, const SgdConfig& config);
+SgdConfig read_sgd_config(io::BinaryReader& reader);
 
 }  // namespace aqua::ml

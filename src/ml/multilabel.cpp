@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "ml/model_io.hpp"
 
 namespace aqua::ml {
 
@@ -77,6 +78,30 @@ std::vector<Labels> MultiLabelModel::predict_batch(const Matrix& x, bool paralle
 const BinaryClassifier& MultiLabelModel::classifier(std::size_t label) const {
   AQUA_REQUIRE(label < classifiers_.size(), "label index out of range");
   return *classifiers_[label];
+}
+
+void MultiLabelModel::save(io::BinaryWriter& writer) const {
+  AQUA_REQUIRE(fitted(), "save on unfitted model");
+  writer.write_u64(classifiers_.size());
+  for (const auto& c : classifiers_) save_classifier(writer, *c);
+}
+
+MultiLabelModel MultiLabelModel::load(io::BinaryReader& reader) {
+  const std::uint64_t count = reader.read_u64();
+  if (count == 0 || count > (std::uint64_t{1} << 24)) {
+    throw io::SerializationError("malformed multi-label model: label count");
+  }
+  MultiLabelModel model;
+  model.classifiers_.reserve(count);
+  for (std::uint64_t v = 0; v < count; ++v) {
+    model.classifiers_.push_back(load_classifier(reader));
+  }
+  // Rebuild the factory from the first classifier so fit() keeps working on
+  // a loaded model (all labels share one configuration by construction).
+  auto prototype =
+      std::shared_ptr<BinaryClassifier>(model.classifiers_.front()->clone_config());
+  model.factory_ = [prototype] { return prototype->clone_config(); };
+  return model;
 }
 
 }  // namespace aqua::ml

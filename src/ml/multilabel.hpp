@@ -41,6 +41,12 @@ class MultiLabelModel {
 
   const BinaryClassifier& classifier(std::size_t label) const;
 
+  /// Serializes every per-label classifier (kind tag + state). A loaded
+  /// model predicts bit-identically and can be refit (the factory is
+  /// rebuilt from the first classifier's configuration).
+  void save(io::BinaryWriter& writer) const;
+  static MultiLabelModel load(io::BinaryReader& reader);
+
  private:
   ClassifierFactory factory_;
   std::vector<std::unique_ptr<BinaryClassifier>> classifiers_;

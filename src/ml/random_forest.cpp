@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/binary.hpp"
 
 namespace aqua::ml {
 
@@ -82,6 +83,34 @@ double RandomForestClassifier::predict_proba(std::span<const double> x) const {
 
 std::unique_ptr<BinaryClassifier> RandomForestClassifier::clone_config() const {
   return std::make_unique<RandomForestClassifier>(config_);
+}
+
+void RandomForestClassifier::save_state(io::BinaryWriter& writer) const {
+  writer.write_u64(config_.num_trees);
+  writer.write_u64(config_.max_depth);
+  writer.write_u64(config_.min_samples_leaf);
+  writer.write_u64(config_.max_features);
+  writer.write_f64(config_.max_features_fraction);
+  writer.write_u64(config_.seed);
+  writer.write_bool(constant_);
+  writer.write_f64(constant_probability_);
+  writer.write_u64(trees_.size());
+  for (const auto& tree : trees_) tree.save(writer);
+}
+
+void RandomForestClassifier::load_state(io::BinaryReader& reader) {
+  config_.num_trees = reader.read_u64();
+  config_.max_depth = reader.read_u64();
+  config_.min_samples_leaf = reader.read_u64();
+  config_.max_features = reader.read_u64();
+  config_.max_features_fraction = reader.read_f64();
+  config_.seed = reader.read_u64();
+  constant_ = reader.read_bool();
+  constant_probability_ = reader.read_f64();
+  const std::uint64_t count = reader.read_u64();
+  if (count > (std::uint64_t{1} << 24)) throw io::SerializationError("malformed forest size");
+  trees_.assign(count, RegressionTree{});
+  for (auto& tree : trees_) tree.load(reader);
 }
 
 }  // namespace aqua::ml

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "ml/model_io.hpp"
 
 namespace aqua::ml {
 
@@ -120,6 +121,41 @@ double SvmClassifier::predict_proba(std::span<const double> x) const {
 
 std::unique_ptr<BinaryClassifier> SvmClassifier::clone_config() const {
   return std::make_unique<SvmClassifier>(config_);
+}
+
+void SvmClassifier::save_state(io::BinaryWriter& writer) const {
+  write_sgd_config(writer, config_.sgd);
+  writer.write_u64(config_.rff_dimension);
+  writer.write_f64(config_.rff_gamma);
+  writer.write_u64(config_.seed);
+  core_.save(writer);
+  input_scaler_.save(writer);
+  write_matrix(writer, rff_weights_);
+  writer.write_f64_vector(rff_offsets_);
+  writer.write_f64(platt_a_);
+  writer.write_f64(platt_b_);
+  writer.write_bool(constant_);
+  writer.write_f64(constant_probability_);
+}
+
+void SvmClassifier::load_state(io::BinaryReader& reader) {
+  config_.sgd = read_sgd_config(reader);
+  config_.rff_dimension = reader.read_u64();
+  config_.rff_gamma = reader.read_f64();
+  config_.seed = reader.read_u64();
+  core_.load(reader);
+  input_scaler_.load(reader);
+  rff_weights_ = read_matrix(reader);
+  rff_offsets_ = reader.read_f64_vector();
+  platt_a_ = reader.read_f64();
+  platt_b_ = reader.read_f64();
+  constant_ = reader.read_bool();
+  constant_probability_ = reader.read_f64();
+  if (config_.rff_dimension > 0 && !constant_ &&
+      (rff_weights_.rows() != config_.rff_dimension ||
+       rff_offsets_.size() != config_.rff_dimension)) {
+    throw io::SerializationError("malformed SVM state: RFF shape mismatch");
+  }
 }
 
 }  // namespace aqua::ml

@@ -30,6 +30,8 @@ class SvmClassifier final : public BinaryClassifier {
   double decision_value(std::span<const double> x) const;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "SVM"; }
+  void save_state(io::BinaryWriter& writer) const override;
+  void load_state(io::BinaryReader& reader) override;
 
  private:
   std::vector<double> map_features(std::span<const double> x) const;

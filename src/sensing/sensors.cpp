@@ -4,12 +4,57 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/binary.hpp"
 
 namespace aqua::sensing {
 
 std::size_t SensorSet::count(SensorKind kind) const noexcept {
   return static_cast<std::size_t>(std::count_if(
       sensors.begin(), sensors.end(), [kind](const Sensor& s) { return s.kind == kind; }));
+}
+
+void SensorSet::save(io::BinaryWriter& writer) const {
+  writer.write_u64(sensors.size());
+  for (const Sensor& sensor : sensors) {
+    writer.write_u8(static_cast<std::uint8_t>(sensor.kind));
+    writer.write_u64(sensor.index);
+    writer.write_string(sensor.name);
+  }
+}
+
+SensorSet SensorSet::load(io::BinaryReader& reader) {
+  const std::uint64_t count = reader.read_u64();
+  if (count > (std::uint64_t{1} << 24)) {
+    throw io::SerializationError("malformed sensor set: sensor count");
+  }
+  SensorSet set;
+  set.sensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Sensor sensor;
+    const std::uint8_t kind = reader.read_u8();
+    if (kind > static_cast<std::uint8_t>(SensorKind::kFlow)) {
+      throw io::SerializationError("malformed sensor kind tag");
+    }
+    sensor.kind = static_cast<SensorKind>(kind);
+    sensor.index = reader.read_u64();
+    sensor.name = reader.read_string();
+    set.sensors.push_back(std::move(sensor));
+  }
+  return set;
+}
+
+void NoiseModel::save(io::BinaryWriter& writer) const {
+  writer.write_f64(pressure_sigma_m);
+  writer.write_f64(flow_sigma_frac);
+  writer.write_f64(flow_sigma_floor_m3s);
+}
+
+NoiseModel NoiseModel::load(io::BinaryReader& reader) {
+  NoiseModel noise;
+  noise.pressure_sigma_m = reader.read_f64();
+  noise.flow_sigma_frac = reader.read_f64();
+  noise.flow_sigma_floor_m3s = reader.read_f64();
+  return noise;
 }
 
 SensorSet full_observation(const hydraulics::Network& network) {

@@ -15,6 +15,11 @@
 #include "hydraulics/network.hpp"
 #include "hydraulics/simulation.hpp"
 
+namespace aqua::io {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace aqua::io
+
 namespace aqua::sensing {
 
 enum class SensorKind { kPressure, kFlow };
@@ -31,6 +36,9 @@ struct SensorSet {
 
   std::size_t size() const noexcept { return sensors.size(); }
   std::size_t count(SensorKind kind) const noexcept;
+
+  void save(io::BinaryWriter& writer) const;
+  static SensorSet load(io::BinaryReader& reader);
 };
 
 /// Measurement noise: additive Gaussian on pressure [m]; on flow the noise
@@ -39,6 +47,9 @@ struct NoiseModel {
   double pressure_sigma_m = 0.005;
   double flow_sigma_frac = 0.005;
   double flow_sigma_floor_m3s = 5e-5;
+
+  void save(io::BinaryWriter& writer) const;
+  static NoiseModel load(io::BinaryReader& reader);
 };
 
 /// Full observation A = V ∪ E: a pressure sensor at every node and a flow

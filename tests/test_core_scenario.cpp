@@ -75,6 +75,21 @@ TEST_F(ScenarioTest, LeakSizesWithinRange) {
   }
 }
 
+TEST_F(ScenarioTest, StartTimeFollowsConfiguredStep) {
+  // The generator must lay event times out on the configured slot grid,
+  // not a hardcoded 900 s one.
+  ScenarioConfig config;
+  config.hydraulic_step_s = 300.0;
+  ScenarioGenerator generator(net_, config);
+  for (int i = 0; i < 20; ++i) {
+    const auto scenario = generator.next();
+    for (const auto& event : scenario.events) {
+      EXPECT_DOUBLE_EQ(event.start_time_s,
+                       static_cast<double>(scenario.leak_slot) * 300.0);
+    }
+  }
+}
+
 TEST_F(ScenarioTest, LeakSlotWithinRange) {
   ScenarioConfig config;
   config.min_leak_slot = 5;
@@ -143,6 +158,9 @@ TEST_F(ScenarioTest, ConfigValidation) {
   EXPECT_THROW(ScenarioGenerator(net_, config), InvalidArgument);
   config = {};
   config.ec_min = -1.0;
+  EXPECT_THROW(ScenarioGenerator(net_, config), InvalidArgument);
+  config = {};
+  config.hydraulic_step_s = 0.0;
   EXPECT_THROW(ScenarioGenerator(net_, config), InvalidArgument);
 }
 

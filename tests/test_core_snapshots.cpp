@@ -125,6 +125,42 @@ TEST_F(SnapshotTest, LongerElapsedStrongerTankDrawdown) {
   EXPECT_GT(diff, 1e-6);
 }
 
+TEST_F(SnapshotTest, MatchingNonDefaultSlotLengthWorks) {
+  ScenarioConfig config;
+  config.min_leak_slot = 2;
+  config.max_leak_slot = 6;
+  config.hydraulic_step_s = 300.0;
+  config.seed = 3;
+  ScenarioGenerator generator(net_, config);
+  const auto scenarios = generator.generate(2);
+  hydraulics::SimulationOptions options;
+  options.hydraulic_step_s = 300.0;
+  const SnapshotBatch batch(net_, scenarios, {1}, options);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST_F(SnapshotTest, MismatchedSlotLengthThrows) {
+  // Scenarios laid out on a 300 s slot grid must not be simulated with the
+  // default 900 s hydraulic step: every snapshot index would be wrong.
+  ScenarioConfig config;
+  config.min_leak_slot = 2;
+  config.max_leak_slot = 6;
+  config.hydraulic_step_s = 300.0;
+  config.seed = 3;
+  ScenarioGenerator generator(net_, config);
+  const auto scenarios = generator.generate(2);
+  EXPECT_THROW(SnapshotBatch(net_, scenarios, {1}), InvalidArgument);
+}
+
+TEST_F(SnapshotTest, LeakSlotWithoutPredecessorThrows) {
+  // A slot-0 leak has no "before" snapshot; this must be a clean error,
+  // not a size_t wrap-around in the index arithmetic.
+  LeakScenario scenario;
+  scenario.leak_slot = 0;
+  const std::vector<LeakScenario> scenarios{scenario};
+  EXPECT_THROW(SnapshotBatch(net_, scenarios, {1}), InvalidArgument);
+}
+
 TEST_F(SnapshotTest, Validation) {
   EXPECT_THROW(SnapshotBatch(net_, scenarios_, {}), InvalidArgument);
   EXPECT_THROW(SnapshotBatch(net_, scenarios_, {4, 1}), InvalidArgument);

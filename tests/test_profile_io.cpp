@@ -1,0 +1,173 @@
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+
+#include "io/artifact.hpp"
+#include "io/binary.hpp"
+#include "networks/builtin.hpp"
+#include "sensing/placement.hpp"
+
+namespace aqua::core {
+namespace {
+
+// A small but non-degenerate training setup: enough scenarios that the
+// per-node classifiers see both classes at some nodes, small enough that
+// training all six kinds on two networks stays fast.
+struct Setup {
+  hydraulics::Network net;
+  std::vector<LeakScenario> scenarios;
+  sensing::SensorSet sensors;
+  std::unique_ptr<SnapshotBatch> batch;  // references `net`
+  ml::MultiLabelDataset eval;
+};
+
+std::unique_ptr<Setup> make_setup(bool wssc) {
+  auto s = std::make_unique<Setup>();
+  s->net = wssc ? networks::make_wssc_subnet() : networks::make_epa_net();
+  ScenarioConfig config;
+  config.min_events = 1;
+  config.max_events = 2;
+  config.min_leak_slot = 2;
+  config.max_leak_slot = 6;
+  config.seed = wssc ? 21 : 11;
+  ScenarioGenerator generator(s->net, config);
+  s->scenarios = generator.generate(wssc ? 10 : 14);
+  s->batch = std::make_unique<SnapshotBatch>(s->net, s->scenarios,
+                                             std::vector<std::size_t>{1});
+  s->sensors = sensing::full_observation(s->net);
+  s->eval = s->batch->build_dataset(s->scenarios, s->sensors, 0, {}, 999);
+  return s;
+}
+
+ProfileModel train_kind(const Setup& s, ModelKind kind) {
+  ProfileTrainingConfig config;
+  config.kind = kind;
+  config.noise.pressure_sigma_m = 0.05;  // non-default, to catch metadata loss
+  return train_profile(*s.batch, s.scenarios, s.sensors, 0, config);
+}
+
+std::string save_bytes(const ProfileModel& profile) {
+  std::ostringstream out(std::ios::binary);
+  profile.save(out);
+  return out.str();
+}
+
+ProfileModel load_bytes(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return ProfileModel::load(in);
+}
+
+void expect_bit_identical(const ProfileModel& original, const ProfileModel& loaded,
+                          const ml::Matrix& x) {
+  EXPECT_EQ(loaded.kind, original.kind);
+  EXPECT_EQ(loaded.elapsed_index, original.elapsed_index);
+  EXPECT_EQ(loaded.include_time_feature, original.include_time_feature);
+  EXPECT_EQ(loaded.noise.pressure_sigma_m, original.noise.pressure_sigma_m);
+  EXPECT_EQ(loaded.noise.flow_sigma_frac, original.noise.flow_sigma_frac);
+  EXPECT_EQ(loaded.noise.flow_sigma_floor_m3s, original.noise.flow_sigma_floor_m3s);
+  ASSERT_EQ(loaded.sensors.size(), original.sensors.size());
+  for (std::size_t k = 0; k < original.sensors.size(); ++k) {
+    EXPECT_EQ(loaded.sensors.sensors[k].kind, original.sensors.sensors[k].kind);
+    EXPECT_EQ(loaded.sensors.sensors[k].index, original.sensors.sensors[k].index);
+    EXPECT_EQ(loaded.sensors.sensors[k].name, original.sensors.sensors[k].name);
+  }
+  ASSERT_EQ(loaded.model.num_labels(), original.model.num_labels());
+
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    const auto pa = original.model.predict_proba(row);
+    const auto pb = loaded.model.predict_proba(row);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t l = 0; l < pa.size(); ++l) {
+      // Bit-exact, not approximately equal: the artifact stores the full
+      // classifier state, so the loaded model must be the same function.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(pa[l]), std::bit_cast<std::uint64_t>(pb[l]))
+          << "row " << i << " label " << l;
+    }
+    EXPECT_EQ(original.model.predict(row), loaded.model.predict(row)) << "row " << i;
+  }
+}
+
+void round_trip_all_kinds(bool wssc) {
+  const auto s = make_setup(wssc);
+  for (ModelKind kind : all_model_kinds()) {
+    SCOPED_TRACE(model_kind_name(kind));
+    const ProfileModel original = train_kind(*s, kind);
+    const ProfileModel loaded = load_bytes(save_bytes(original));
+    expect_bit_identical(original, loaded, s->eval.features);
+  }
+}
+
+TEST(ProfileIo, RoundTripAllKindsEpaNet) { round_trip_all_kinds(false); }
+
+TEST(ProfileIo, RoundTripAllKindsWsscSubnet) { round_trip_all_kinds(true); }
+
+TEST(ProfileIo, SaveLoadSaveIsStable) {
+  // Serialization is a pure function of model state: saving the loaded
+  // model reproduces the original byte stream exactly.
+  const auto s = make_setup(false);
+  const ProfileModel original = train_kind(*s, ModelKind::kLogisticR);
+  const std::string first = save_bytes(original);
+  const std::string second = save_bytes(load_bytes(first));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ProfileIo, LoadedModelCanRefit) {
+  const auto s = make_setup(false);
+  ProfileModel loaded = load_bytes(save_bytes(train_kind(*s, ModelKind::kLinearR)));
+  // The factory is reconstructed on load, so Phase I can retrain in place.
+  loaded.model.fit(s->eval);
+  EXPECT_EQ(loaded.model.num_labels(), s->eval.num_labels());
+  const auto proba = loaded.model.predict_proba(s->eval.features.row(0));
+  EXPECT_EQ(proba.size(), s->eval.num_labels());
+}
+
+TEST(ProfileIo, TruncatedArtifactThrows) {
+  const auto s = make_setup(false);
+  const std::string bytes = save_bytes(train_kind(*s, ModelKind::kLinearR));
+  for (const double fraction : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const auto cut = static_cast<std::size_t>(fraction * static_cast<double>(bytes.size()));
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_THROW(ProfileModel::load(in), io::SerializationError) << "cut at " << cut;
+  }
+}
+
+TEST(ProfileIo, CorruptedArtifactThrows) {
+  const auto s = make_setup(false);
+  const std::string clean = save_bytes(train_kind(*s, ModelKind::kLinearR));
+  // Flip one bit in a handful of payload bytes (payloads sit at the tail).
+  for (const std::size_t back : {1u, 17u, 256u, 4096u}) {
+    ASSERT_LT(back, clean.size());
+    std::string bytes = clean;
+    const std::size_t pos = bytes.size() - back;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x01);
+    std::istringstream in(bytes);
+    EXPECT_THROW(ProfileModel::load(in), io::SerializationError) << "byte from end " << back;
+  }
+}
+
+TEST(ProfileIo, WrongVersionThrows) {
+  const auto s = make_setup(false);
+  std::string bytes = save_bytes(train_kind(*s, ModelKind::kLinearR));
+  // The format version is the little-endian u32 right after the 8-byte magic.
+  ASSERT_GE(bytes.size(), 12u);
+  bytes[8] = static_cast<char>(io::kFormatVersion + 1);
+  bytes[9] = 0;
+  bytes[10] = 0;
+  bytes[11] = 0;
+  std::istringstream in(bytes);
+  EXPECT_THROW(ProfileModel::load(in), io::SerializationError);
+}
+
+TEST(ProfileIo, GarbageStreamThrows) {
+  std::istringstream in("this is not an aqua artifact at all, not even close");
+  EXPECT_THROW(ProfileModel::load(in), io::SerializationError);
+}
+
+}  // namespace
+}  // namespace aqua::core

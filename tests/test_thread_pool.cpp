@@ -66,6 +66,53 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   EXPECT_EQ(sum.load(), 45);
 }
 
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  bool inside = false;
+  pool.submit([&] { inside = pool.on_worker_thread(); }).get();
+  EXPECT_TRUE(inside);
+  // A worker of one pool is not a worker of another.
+  ThreadPool other(2);
+  bool cross = true;
+  pool.submit([&] { cross = other.on_worker_thread(); }).get();
+  EXPECT_FALSE(cross);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression test: a parallel_for issued from inside one of the pool's
+  // own workers used to enqueue chunk tasks behind the caller's task and
+  // block on their futures forever. The nested call must run inline.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(2, [&](std::size_t) {
+        pool.parallel_for(4, [&](std::size_t i) {
+          if (i == 2) throw std::runtime_error("nested boom");
+        });
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    pool.parallel_for(2, [&](std::size_t) {
+      pool.parallel_for(2, [&](std::size_t) { ++count; });
+    });
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
 TEST(ThreadPool, ManyTasksComplete) {
   ThreadPool pool(4);
   std::atomic<int> done{0};
