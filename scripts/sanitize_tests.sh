@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer
+# (cmake -DAQUA_SANITIZE=ON), so the replay engine pool and the thread-pool
+# batch paths get exercised under memory/UB checking routinely, not just
+# when someone remembers to. CI-friendly: exits non-zero on any build or
+# test failure.
+#
+# Usage: scripts/sanitize_tests.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-asan}
+cmake -B "$BUILD_DIR" -S . -DAQUA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,10 +1,13 @@
 // Batched EPANET++ execution for scenario corpora. Running one extended-
 // period simulation per training scenario is the dominant cost of Phase I,
-// so the batch (a) parallelizes EPS runs on the process thread pool and
-// (b) stores only the snapshots features need: the full network state at
-// e.t−1 and at e.t+n for every elapsed count n of interest. Datasets for
-// any sensor set / noise / elapsed-slot combination are then assembled
-// without re-simulating.
+// so the batch (a) simulates the shared no-leak baseline once and replays
+// each scenario from its leak-slot checkpoint (hydraulics/replay.hpp),
+// paying only for post-leak steps, (b) parallelizes replays on the process
+// thread pool with a per-thread engine pool that shares one symbolic
+// factorization per network, and (c) stores only the snapshots features
+// need: the full network state at e.t−1 and at e.t+n for every elapsed
+// count n of interest. Datasets for any sensor set / noise / elapsed-slot
+// combination are then assembled without re-simulating.
 #pragma once
 
 #include <cstdint>
@@ -27,18 +30,39 @@ struct ScenarioSnapshots {
   double day_fraction = 0.0;  // time-of-day of e.t in [0,1) (context feature)
 };
 
+/// Simulation-cost accounting for one batch, the unit the Phase I perf
+/// bench tracks (bench/phase1_training.cpp).
+struct SnapshotBatchStats {
+  std::size_t scenarios = 0;
+  std::size_t baseline_steps = 0;          // solved once, shared by all scenarios
+  std::size_t baseline_linear_solves = 0;  // Newton iterations of the baseline
+  std::size_t scenario_steps = 0;          // per-scenario hydraulic steps solved
+  std::size_t scenario_linear_solves = 0;
+  std::size_t engines_built = 0;  // replay workers constructed (<= pool threads)
+
+  std::size_t total_steps() const noexcept { return baseline_steps + scenario_steps; }
+  std::size_t total_linear_solves() const noexcept {
+    return baseline_linear_solves + scenario_linear_solves;
+  }
+};
+
 class SnapshotBatch {
  public:
   /// Simulates every scenario once (in parallel) and keeps snapshots for
-  /// each n in `elapsed_slots` (must be non-empty, ascending).
+  /// each n in `elapsed_slots` (must be non-empty, ascending). The default
+  /// checkpointed-replay path produces snapshots bit-identical to
+  /// `use_replay = false` (full per-scenario runs from t = 0, kept for
+  /// verification and benchmarking) at a fraction of the hydraulic solves.
   SnapshotBatch(const hydraulics::Network& network, std::span<const LeakScenario> scenarios,
                 std::vector<std::size_t> elapsed_slots,
-                hydraulics::SimulationOptions options = {}, bool parallel = true);
+                hydraulics::SimulationOptions options = {}, bool parallel = true,
+                bool use_replay = true);
 
   std::size_t size() const noexcept { return snapshots_.size(); }
   const std::vector<std::size_t>& elapsed_slots() const noexcept { return elapsed_slots_; }
   const ScenarioSnapshots& snapshots(std::size_t scenario) const;
   const hydraulics::Network& network() const noexcept { return network_; }
+  const SnapshotBatchStats& stats() const noexcept { return stats_; }
 
   /// Δ-feature vector of one scenario for a sensor set at elapsed count
   /// `elapsed_slots()[elapsed_index]`, with fresh measurement noise from
@@ -47,6 +71,13 @@ class SnapshotBatch {
   std::vector<double> features(std::size_t scenario, const sensing::SensorSet& sensors,
                                std::size_t elapsed_index, const sensing::NoiseModel& noise,
                                Rng& rng, bool include_time_feature = true) const;
+
+  /// Allocation-free variant: writes the feature vector into `out`, whose
+  /// size must be sensors.size() + (include_time_feature ? 1 : 0). Dataset
+  /// assembly points this directly at the ml::Matrix row.
+  void features_into(std::size_t scenario, const sensing::SensorSet& sensors,
+                     std::size_t elapsed_index, const sensing::NoiseModel& noise, Rng& rng,
+                     bool include_time_feature, std::span<double> out) const;
 
   /// Assembles a multi-label dataset over all scenarios for one sensor set
   /// and elapsed index. Noise is drawn deterministically from `seed`.
@@ -57,9 +88,17 @@ class SnapshotBatch {
                                       bool include_time_feature = true) const;
 
  private:
+  void build_full(std::span<const LeakScenario> scenarios,
+                  const hydraulics::SimulationOptions& options, bool parallel);
+  void build_replay(std::span<const LeakScenario> scenarios,
+                    const hydraulics::SimulationOptions& options, bool parallel);
+  void validate_scenario(const LeakScenario& scenario,
+                         const hydraulics::SimulationOptions& options) const;
+
   const hydraulics::Network& network_;
   std::vector<std::size_t> elapsed_slots_;
   std::vector<ScenarioSnapshots> snapshots_;
+  SnapshotBatchStats stats_;
 };
 
 }  // namespace aqua::core

@@ -8,14 +8,16 @@
 namespace aqua::hydraulics {
 
 SimulationResults::SimulationResults(std::size_t num_steps, std::size_t num_nodes,
-                                     std::size_t num_links)
+                                     std::size_t num_links, std::size_t start_step)
     : times_(num_steps, 0.0),
       num_nodes_(num_nodes),
       num_links_(num_links),
+      start_step_(start_step),
       heads_(num_steps * num_nodes, 0.0),
       pressures_(num_steps * num_nodes, 0.0),
       flows_(num_steps * num_links, 0.0),
-      emitter_(num_steps * num_nodes, 0.0) {}
+      emitter_(num_steps * num_nodes, 0.0),
+      emitter_total_(num_steps, 0.0) {}
 
 std::size_t SimulationResults::step_at(double time_s) const {
   AQUA_REQUIRE(!times_.empty(), "no recorded steps");
@@ -28,12 +30,7 @@ double SimulationResults::leaked_volume() const noexcept {
   if (times_.size() < 2) return 0.0;
   double volume = 0.0;
   for (std::size_t s = 0; s + 1 < times_.size(); ++s) {
-    double rate_now = 0.0, rate_next = 0.0;
-    for (std::size_t v = 0; v < num_nodes_; ++v) {
-      rate_now += emitter_[s * num_nodes_ + v];
-      rate_next += emitter_[(s + 1) * num_nodes_ + v];
-    }
-    volume += 0.5 * (rate_now + rate_next) * (times_[s + 1] - times_[s]);
+    volume += 0.5 * (emitter_total_[s] + emitter_total_[s + 1]) * (times_[s + 1] - times_[s]);
   }
   return volume;
 }
@@ -46,6 +43,102 @@ void SimulationResults::record(std::size_t step, double time_s, const HydraulicS
   std::copy(state.flow.begin(), state.flow.end(), flows_.begin() + step * num_links_);
   std::copy(state.emitter_outflow.begin(), state.emitter_outflow.end(),
             emitter_.begin() + step * num_nodes_);
+  double total = 0.0;
+  for (double q : state.emitter_outflow) total += q;
+  emitter_total_[step] = total;
+  total_linear_solves_ += state.iterations;
+}
+
+EpsStepper::EpsStepper(Network& network, const GgaSolver& solver,
+                       const SimulationOptions& options, std::span<const LeakEvent> events)
+    : network_(network), solver_(solver), options_(options), events_(events) {
+  const std::size_t n = network_.num_nodes();
+  tank_level_.assign(n, 0.0);
+  demands_.assign(n, 0.0);
+  fixed_.assign(n, 0.0);
+
+  // Tank-incident links, gathered once: integrating levels by scanning all
+  // links for every node each step is O(nodes * links) per step.
+  for (NodeId v = 0; v < n; ++v) {
+    const Node& node = network_.node(v);
+    if (node.type != NodeType::kTank) continue;
+    const double area = 0.25 * 3.141592653589793 * node.diameter * node.diameter;
+    tanks_.push_back({v, area, {}});
+  }
+  for (LinkId l = 0; l < network_.num_links(); ++l) {
+    const Link& link = network_.link(l);
+    for (auto& tank : tanks_) {
+      if (link.to == tank.node) tank.links.emplace_back(l, 1.0);
+      if (link.from == tank.node) tank.links.emplace_back(l, -1.0);
+    }
+  }
+}
+
+void EpsStepper::start() {
+  network_.clear_emitters();
+  std::fill(tank_level_.begin(), tank_level_.end(), 0.0);
+  for (const auto& tank : tanks_) tank_level_[tank.node] = network_.node(tank.node).init_level;
+  have_previous_ = false;
+  next_step_ = 0;
+}
+
+void EpsStepper::resume(std::size_t step, std::span<const double> tank_level,
+                        HydraulicState previous) {
+  AQUA_REQUIRE(step >= 1, "resume requires a predecessor step for the warm start");
+  AQUA_REQUIRE(tank_level.size() == network_.num_nodes(), "tank levels must be per-node");
+  AQUA_REQUIRE(previous.head.size() == network_.num_nodes() &&
+                   previous.flow.size() == network_.num_links(),
+               "warm-start state does not match the network");
+  const double resume_time = static_cast<double>(step) * options_.hydraulic_step_s;
+  for (const LeakEvent& event : events_) {
+    AQUA_REQUIRE(event.start_time_s >= resume_time - 1e-9,
+                 "cannot resume after a leak already started: the checkpoint would be stale");
+  }
+  network_.clear_emitters();
+  std::copy(tank_level.begin(), tank_level.end(), tank_level_.begin());
+  previous_ = std::move(previous);
+  have_previous_ = true;
+  next_step_ = step;
+}
+
+const HydraulicState& EpsStepper::advance() {
+  const std::size_t n = network_.num_nodes();
+  const double t = static_cast<double>(next_step_) * options_.hydraulic_step_s;
+
+  // Activate scheduled leaks whose start time has arrived; emitters stay
+  // active for the rest of the run (a broken pipe does not heal itself).
+  for (const LeakEvent& event : events_) {
+    if (event.start_time_s <= t &&
+        network_.node(event.node).emitter_coefficient < event.coefficient) {
+      network_.set_emitter(event.node, event.coefficient, event.exponent);
+    }
+  }
+
+  const auto period = static_cast<std::size_t>(t / options_.pattern_step_s);
+  for (NodeId v = 0; v < n; ++v) {
+    const Node& node = network_.node(v);
+    demands_[v] = network_.demand_at(v, period);
+    if (node.type == NodeType::kReservoir) fixed_[v] = node.elevation;
+    if (node.type == NodeType::kTank) fixed_[v] = node.elevation + tank_level_[v];
+  }
+
+  HydraulicState state = solver_.solve(demands_, fixed_, have_previous_ ? &previous_ : nullptr);
+
+  // Integrate tank levels over the step (explicit Euler, clamped). The
+  // integrated levels feed the *next* step, so doing this unconditionally
+  // (full runs skip it after the last step) cannot change recorded values.
+  for (const auto& tank : tanks_) {
+    double net_inflow = 0.0;
+    for (const auto& [l, sign] : tank.links) net_inflow += sign * state.flow[l];
+    const Node& node = network_.node(tank.node);
+    tank_level_[tank.node] += net_inflow * options_.hydraulic_step_s / tank.area;
+    tank_level_[tank.node] = std::clamp(tank_level_[tank.node], node.min_level, node.max_level);
+  }
+
+  previous_ = std::move(state);
+  have_previous_ = true;
+  ++next_step_;
+  return previous_;
 }
 
 Simulation::Simulation(Network network, SimulationOptions options)
@@ -70,84 +163,27 @@ void Simulation::schedule_leaks(const std::vector<LeakEvent>& events) {
 }
 
 std::size_t Simulation::num_steps() const noexcept {
-  return static_cast<std::size_t>(options_.duration_s / options_.hydraulic_step_s) + 1;
+  // floor() of the raw quotient silently drops the final step whenever an
+  // exact multiple lands at k - ulp (e.g. 0.3 / 0.1 == 2.999...96); the
+  // epsilon absorbs that representation error without admitting genuinely
+  // short horizons.
+  const double quotient = options_.duration_s / options_.hydraulic_step_s;
+  return static_cast<std::size_t>(std::floor(quotient + 1e-9)) + 1;
 }
 
 SimulationResults Simulation::run() {
   network_.clear_emitters();
-  const std::size_t n = network_.num_nodes();
   const std::size_t steps = num_steps();
 
   GgaSolver solver(network_, options_.solver);
-  SimulationResults results(steps, n, network_.num_links());
+  SimulationResults results(steps, network_.num_nodes(), network_.num_links());
   results.step_s_ = options_.hydraulic_step_s;
 
-  // Tank state: level above tank elevation, starting from init_level.
-  std::vector<double> tank_level(n, 0.0);
-  // Tank-incident links, gathered once: integrating levels by scanning all
-  // links for every node each step is O(nodes * links) per step.
-  struct TankLinks {
-    NodeId node;
-    double area;
-    std::vector<std::pair<LinkId, double>> links;  // link id, inflow sign
-  };
-  std::vector<TankLinks> tanks;
-  for (NodeId v = 0; v < n; ++v) {
-    const Node& node = network_.node(v);
-    if (node.type != NodeType::kTank) continue;
-    tank_level[v] = node.init_level;
-    const double area = 0.25 * 3.141592653589793 * node.diameter * node.diameter;
-    tanks.push_back({v, area, {}});
-  }
-  for (LinkId l = 0; l < network_.num_links(); ++l) {
-    const Link& link = network_.link(l);
-    for (auto& tank : tanks) {
-      if (link.to == tank.node) tank.links.emplace_back(l, 1.0);
-      if (link.from == tank.node) tank.links.emplace_back(l, -1.0);
-    }
-  }
-
-  std::vector<double> demands(n, 0.0), fixed(n, 0.0);
-  HydraulicState previous;
-  bool have_previous = false;
-
+  EpsStepper stepper(network_, solver, options_, events_);
+  stepper.start();
   for (std::size_t step = 0; step < steps; ++step) {
-    const double t = static_cast<double>(step) * options_.hydraulic_step_s;
-
-    // Activate scheduled leaks whose start time has arrived; emitters stay
-    // active for the rest of the run (a broken pipe does not heal itself).
-    for (const LeakEvent& event : events_) {
-      if (event.start_time_s <= t &&
-          network_.node(event.node).emitter_coefficient < event.coefficient) {
-        network_.set_emitter(event.node, event.coefficient, event.exponent);
-      }
-    }
-
-    const auto period = static_cast<std::size_t>(t / options_.pattern_step_s);
-    for (NodeId v = 0; v < n; ++v) {
-      const Node& node = network_.node(v);
-      demands[v] = network_.demand_at(v, period);
-      if (node.type == NodeType::kReservoir) fixed[v] = node.elevation;
-      if (node.type == NodeType::kTank) fixed[v] = node.elevation + tank_level[v];
-    }
-
-    const HydraulicState state =
-        solver.solve(demands, fixed, have_previous ? &previous : nullptr);
-    results.record(step, t, state);
-
-    // Integrate tank levels over the step (explicit Euler, clamped).
-    if (step + 1 < steps) {
-      for (const auto& tank : tanks) {
-        double net_inflow = 0.0;
-        for (const auto& [l, sign] : tank.links) net_inflow += sign * state.flow[l];
-        const Node& node = network_.node(tank.node);
-        tank_level[tank.node] += net_inflow * options_.hydraulic_step_s / tank.area;
-        tank_level[tank.node] = std::clamp(tank_level[tank.node], node.min_level, node.max_level);
-      }
-    }
-
-    previous = state;
-    have_previous = true;
+    const double t = stepper.next_time();
+    results.record(step, t, stepper.advance());
   }
   return results;
 }

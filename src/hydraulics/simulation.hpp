@@ -4,15 +4,24 @@
 // as the IoT sampling interval (15 minutes in the paper, Sec. V-A), and
 // leak events e = (l, s, t) are scheduled as emitters that activate at
 // their starting time slot.
+//
+// Because tank integration is explicit Euler and the GGA warm start only
+// reads the previous step's heads and flows, the hydraulic state at step k
+// is a pure function of (tank levels entering k, state at k-1, absolute
+// time). The replay engine (hydraulics/replay.hpp) exploits this to resume
+// a run mid-trajectory with bit-identical results.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "hydraulics/network.hpp"
 #include "hydraulics/solver.hpp"
 
 namespace aqua::hydraulics {
+
+class BaselineTrajectory;  // hydraulics/replay.hpp
 
 struct SimulationOptions {
   double duration_s = 24.0 * 3600.0;
@@ -30,14 +39,20 @@ struct LeakEvent {
   double start_time_s = 0.0;  // e.t
 };
 
-/// Dense step-major time series produced by an EPS run.
+/// Dense step-major time series produced by an EPS run. A results object
+/// may cover only a tail window of the horizon (replay): `start_step()` is
+/// the absolute step index of row 0, all per-step accessors take indices
+/// relative to it, and `times()` stay absolute.
 class SimulationResults {
  public:
-  SimulationResults(std::size_t num_steps, std::size_t num_nodes, std::size_t num_links);
+  SimulationResults(std::size_t num_steps, std::size_t num_nodes, std::size_t num_links,
+                    std::size_t start_step = 0);
 
   std::size_t num_steps() const noexcept { return times_.size(); }
   std::size_t num_nodes() const noexcept { return num_nodes_; }
   std::size_t num_links() const noexcept { return num_links_; }
+  /// Absolute step index of the first recorded row (0 for full runs).
+  std::size_t start_step() const noexcept { return start_step_; }
 
   double time(std::size_t step) const { return times_.at(step); }
   const std::vector<double>& times() const noexcept { return times_; }
@@ -50,6 +65,16 @@ class SimulationResults {
   double emitter_outflow(std::size_t step, NodeId node) const {
     return emitter_[step * num_nodes_ + node];
   }
+  /// Sum of emitter outflows over all nodes at one step [m^3/s] (cached at
+  /// record() time).
+  double emitter_total(std::size_t step) const { return emitter_total_.at(step); }
+
+  std::span<const double> heads_at(std::size_t step) const {
+    return {heads_.data() + step * num_nodes_, num_nodes_};
+  }
+  std::span<const double> flows_at(std::size_t step) const {
+    return {flows_.data() + step * num_links_, num_links_};
+  }
 
   /// Step index of the sample at or immediately before `time_s`.
   std::size_t step_at(double time_s) const;
@@ -57,20 +82,87 @@ class SimulationResults {
   /// Total leaked volume across the run [m^3] (trapezoidal in steps).
   double leaked_volume() const noexcept;
 
-  // Writers used by the engine.
+  /// Newton iterations (== inner linear solves) summed over all recorded
+  /// steps — the unit the perf benches track.
+  std::size_t total_linear_solves() const noexcept { return total_linear_solves_; }
+
+  // Writers used by the engine; `step` is relative to start_step().
   void record(std::size_t step, double time_s, const HydraulicState& state);
 
  private:
   std::vector<double> times_;
   std::size_t num_nodes_;
   std::size_t num_links_;
+  std::size_t start_step_ = 0;
   std::vector<double> heads_;
   std::vector<double> pressures_;
   std::vector<double> flows_;
   std::vector<double> emitter_;
+  std::vector<double> emitter_total_;  // per step, filled by record()
+  std::size_t total_linear_solves_ = 0;
   double step_s_ = 0.0;
 
   friend class Simulation;
+  friend class BaselineTrajectory;
+  friend class ReplayEngine;
+};
+
+/// Low-level EPS stepping core shared by Simulation::run, the baseline
+/// recorder and the scenario replayer. Advancing one step activates due
+/// leaks, solves the snapshot, then integrates tank levels — exactly the
+/// arithmetic of a full run, so a stepper resumed from a checkpoint
+/// reproduces the tail of that run bit for bit.
+class EpsStepper {
+ public:
+  /// Binds to a network (mutated: emitter activation), a solver built for
+  /// it, and the leak schedule. All referents must outlive the stepper.
+  EpsStepper(Network& network, const GgaSolver& solver, const SimulationOptions& options,
+             std::span<const LeakEvent> events);
+
+  /// Replaces the leak schedule (used by engines that replay many
+  /// scenarios through one stepper). Call before start()/resume().
+  void set_events(std::span<const LeakEvent> events) noexcept { events_ = events; }
+
+  /// Positions at absolute step 0 with initial tank levels, no warm start,
+  /// and all emitters cleared.
+  void start();
+
+  /// Positions at absolute step `step` from a checkpoint: per-node tank
+  /// levels entering the step and the hydraulic state of step-1 (warm
+  /// start). Emitters are cleared; events re-activate as time reaches them,
+  /// so every scheduled event must start at or after the resume time.
+  void resume(std::size_t step, std::span<const double> tank_level, HydraulicState previous);
+
+  /// Solves the current step and integrates tank levels across it.
+  /// The returned reference is valid until the next advance().
+  const HydraulicState& advance();
+
+  /// Absolute index of the next step advance() will solve.
+  std::size_t next_step() const noexcept { return next_step_; }
+  /// Current time of the next step [s].
+  double next_time() const noexcept {
+    return static_cast<double>(next_step_) * options_.hydraulic_step_s;
+  }
+  /// Per-node tank levels entering the next step (junction entries are 0).
+  const std::vector<double>& tank_levels() const noexcept { return tank_level_; }
+
+ private:
+  struct TankLinks {
+    NodeId node;
+    double area;
+    std::vector<std::pair<LinkId, double>> links;  // link id, inflow sign
+  };
+
+  Network& network_;
+  const GgaSolver& solver_;
+  const SimulationOptions& options_;
+  std::span<const LeakEvent> events_;
+  std::vector<TankLinks> tanks_;
+  std::vector<double> tank_level_;  // per node, entering next_step_
+  std::vector<double> demands_, fixed_;
+  HydraulicState previous_;
+  bool have_previous_ = false;
+  std::size_t next_step_ = 0;
 };
 
 /// Extended-period simulation engine. Owns a copy of the network so leak
@@ -86,11 +178,20 @@ class Simulation {
 
   const Network& network() const noexcept { return network_; }
   const SimulationOptions& options() const noexcept { return options_; }
+  const std::vector<LeakEvent>& events() const noexcept { return events_; }
   std::size_t num_steps() const noexcept;
 
   /// Runs the EPS and returns recorded time series. Repeatable: each call
   /// restarts from initial tank levels.
   SimulationResults run();
+
+  /// Resumes from the baseline's checkpoint at `resume_step` and simulates
+  /// only steps [resume_step, num_steps()), bit-identical to the same tail
+  /// of run(). The baseline must share this simulation's step sizes and
+  /// network structure, cover at least step resume_step - 1, and every
+  /// scheduled leak must start at or after the resume time (earlier events
+  /// would have perturbed the checkpoint itself). Defined in replay.cpp.
+  SimulationResults run_from(const BaselineTrajectory& baseline, std::size_t resume_step);
 
  private:
   Network network_;

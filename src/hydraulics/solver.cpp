@@ -72,6 +72,26 @@ GgaSolver::GgaSolver(const Network& network, SolverOptions options)
   }
 }
 
+GgaSolver::GgaSolver(const Network& network, const GgaSolver& prototype)
+    : network_(network),
+      options_(prototype.options_),
+      assembly_(prototype.assembly_),
+      workspace_(prototype.workspace_) {
+  const Network& proto_net = prototype.network_;
+  AQUA_REQUIRE(network_.num_nodes() == proto_net.num_nodes() &&
+                   network_.num_links() == proto_net.num_links(),
+               "prototype solver was built for a different network size");
+  for (NodeId v = 0; v < network_.num_nodes(); ++v) {
+    AQUA_REQUIRE(network_.node(v).has_fixed_head() == proto_net.node(v).has_fixed_head(),
+                 "prototype solver was built for a different fixed-head pattern");
+  }
+  for (LinkId l = 0; l < network_.num_links(); ++l) {
+    AQUA_REQUIRE(network_.link(l).from == proto_net.link(l).from &&
+                     network_.link(l).to == proto_net.link(l).to,
+                 "prototype solver was built for a different topology");
+  }
+}
+
 bool GgaSolver::solve_linear_system(std::string* why) const {
   Workspace& ws = workspace_;
   if (options_.linear_solver == LinearSolver::kCholesky) {

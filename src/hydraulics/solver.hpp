@@ -75,6 +75,16 @@ class GgaSolver {
  public:
   explicit GgaSolver(const Network& network, SolverOptions options = {});
 
+  /// Binds a solver to `network` by cloning `prototype`'s assembly and
+  /// cached symbolic factorization instead of recomputing the min-degree
+  /// ordering and analysis. `network` must be structurally identical to
+  /// prototype.network() (same node/link counts, fixed-head pattern and
+  /// link endpoints — checked); attribute differences (demands, emitter
+  /// coefficients, roughness) are fine because values are re-evaluated
+  /// every solve. This is what lets a per-thread solver pool share one
+  /// symbolic factorization per network.
+  GgaSolver(const Network& network, const GgaSolver& prototype);
+
   /// Solves a snapshot. `demands` is per-node (junction entries used)
   /// [m^3/s]; `fixed_heads` is per-node and consulted only for
   /// reservoir/tank nodes [m]. `warm_start` (optional) seeds heads and

@@ -33,6 +33,58 @@ TEST(Simulation, StepCountMatchesDuration) {
   EXPECT_DOUBLE_EQ(results.time(16), 4 * 3600.0);
 }
 
+TEST(Simulation, NumStepsSurvivesInexactDivision) {
+  // 0.3 / 0.1 == 2.999...96 in binary: the old truncating cast dropped the
+  // final step of any horizon whose duration/step quotient lands at k - ulp.
+  SimulationOptions options;
+  options.duration_s = 0.3;
+  options.hydraulic_step_s = 0.1;
+  Simulation sim(small(), options);
+  EXPECT_EQ(sim.num_steps(), 4u);  // steps at t = 0, 0.1, 0.2, 0.3
+
+  options.duration_s = 3 * 0.7;    // 2.0999999999999996
+  options.hydraulic_step_s = 0.7;
+  Simulation sim2(small(), options);
+  EXPECT_EQ(sim2.num_steps(), 4u);
+
+  // Non-multiples still floor.
+  options.duration_s = 1000.0;
+  options.hydraulic_step_s = 900.0;
+  Simulation sim3(small(), options);
+  EXPECT_EQ(sim3.num_steps(), 2u);
+}
+
+TEST(Simulation, LeakedVolumeMatchesManualTrapezoid) {
+  // leaked_volume() integrates the cached per-step emitter totals; it must
+  // agree exactly with the trapezoid computed from the per-node series.
+  SimulationOptions options;
+  options.duration_s = 4 * 3600.0;
+  Simulation sim(small(), options);
+  sim.schedule_leaks({{small().node_id("A"), 0.002, 0.5, 900.0},
+                      {small().node_id("B"), 0.001, 0.5, 2700.0}});
+  const auto results = sim.run();
+  double manual = 0.0;
+  for (std::size_t s = 0; s + 1 < results.num_steps(); ++s) {
+    double now = 0.0, next = 0.0;
+    for (NodeId v = 0; v < results.num_nodes(); ++v) {
+      now += results.emitter_outflow(s, v);
+      next += results.emitter_outflow(s + 1, v);
+    }
+    manual += 0.5 * (now + next) * (results.time(s + 1) - results.time(s));
+  }
+  EXPECT_DOUBLE_EQ(results.leaked_volume(), manual);
+  EXPECT_GT(results.leaked_volume(), 0.0);
+}
+
+TEST(Simulation, ResultsTrackLinearSolveCount) {
+  SimulationOptions options;
+  options.duration_s = 2 * 3600.0;
+  Simulation sim(small(), options);
+  const auto results = sim.run();
+  // Every step needs at least one Newton iteration (= one inner solve).
+  EXPECT_GE(results.total_linear_solves(), results.num_steps());
+}
+
 TEST(Simulation, PatternRaisesDemandAndDropsPressure) {
   SimulationOptions options;
   options.duration_s = 8 * 3600.0;
