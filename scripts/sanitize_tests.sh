@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer
-# (cmake -DAQUA_SANITIZE=ON), so the replay engine pool and the thread-pool
-# batch paths get exercised under memory/UB checking routinely, not just
-# when someone remembers to. CI-friendly: exits non-zero on any build or
-# test failure.
+# Tier-1 test suite under sanitizers, CI-friendly (non-zero exit on any
+# build or test failure). Two passes in separate build dirs:
 #
-# Usage: scripts/sanitize_tests.sh [build-dir]   (default: build-asan)
+#   1. ASan+UBSan (cmake -DAQUA_SANITIZE=ON): the full suite, so the
+#      replay engine pool, the thread-pool batch paths, and the hostile
+#      .inp corpus (test_inp_io) get memory/UB checking routinely.
+#   2. TSan (cmake -DAQUA_TSAN=ON): the unit+concurrency labels, which
+#      include test_concurrency's shared-model / shared-engine races.
+#
+# Usage: scripts/sanitize_tests.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-asan build-tsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${1:-build-asan}
-cmake -B "$BUILD_DIR" -S . -DAQUA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ASAN_DIR=${1:-build-asan}
+TSAN_DIR=${2:-build-tsan}
+
+echo "== pass 1/2: ASan + UBSan (${ASAN_DIR}) =="
+cmake -B "$ASAN_DIR" -S . -DAQUA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_DIR" -j "$(nproc)"
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== pass 2/2: TSan (${TSAN_DIR}) =="
+cmake -B "$TSAN_DIR" -S . -DAQUA_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_DIR" -j "$(nproc)"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" -L "unit|concurrency"

@@ -1,0 +1,72 @@
+#include "common/telemetry.hpp"
+
+#include "common/error.hpp"
+
+namespace aqua::telemetry {
+
+StageTimes::StageTimes(std::vector<std::string> stage_names,
+                       std::vector<std::string> counter_names)
+    : stage_names_(std::move(stage_names)),
+      counter_names_(std::move(counter_names)),
+      seconds_(stage_names_.size(), 0.0),
+      calls_(stage_names_.size(), 0),
+      counts_(counter_names_.size(), 0) {}
+
+void StageTimes::add_seconds(std::size_t stage, double seconds, std::uint64_t calls) {
+  AQUA_REQUIRE(stage < seconds_.size(), "stage index out of range");
+  seconds_[stage] += seconds;
+  calls_[stage] += calls;
+}
+
+void StageTimes::add_count(std::size_t counter, std::uint64_t n) {
+  AQUA_REQUIRE(counter < counts_.size(), "counter index out of range");
+  counts_[counter] += n;
+}
+
+double StageTimes::seconds(std::size_t stage) const {
+  AQUA_REQUIRE(stage < seconds_.size(), "stage index out of range");
+  return seconds_[stage];
+}
+
+std::uint64_t StageTimes::calls(std::size_t stage) const {
+  AQUA_REQUIRE(stage < calls_.size(), "stage index out of range");
+  return calls_[stage];
+}
+
+std::uint64_t StageTimes::count(std::size_t counter) const {
+  AQUA_REQUIRE(counter < counts_.size(), "counter index out of range");
+  return counts_[counter];
+}
+
+void StageTimes::merge(const StageTimes& other) {
+  AQUA_REQUIRE(other.stage_names_.size() == stage_names_.size() &&
+                   other.counter_names_.size() == counter_names_.size(),
+               "StageTimes schema mismatch");
+  for (std::size_t i = 0; i < seconds_.size(); ++i) {
+    seconds_[i] += other.seconds_[i];
+    calls_[i] += other.calls_[i];
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+void StageTimes::reset() {
+  seconds_.assign(seconds_.size(), 0.0);
+  calls_.assign(calls_.size(), 0);
+  counts_.assign(counts_.size(), 0);
+}
+
+std::vector<std::pair<std::string, double>> StageTimes::metrics(const std::string& prefix) const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(2 * stage_names_.size() + counter_names_.size());
+  for (std::size_t i = 0; i < stage_names_.size(); ++i) {
+    out.emplace_back(prefix + "stage." + stage_names_[i] + ".seconds", seconds_[i]);
+    out.emplace_back(prefix + "stage." + stage_names_[i] + ".calls",
+                     static_cast<double>(calls_[i]));
+  }
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    out.emplace_back(prefix + "counter." + counter_names_[i], static_cast<double>(counts_[i]));
+  }
+  return out;
+}
+
+}  // namespace aqua::telemetry

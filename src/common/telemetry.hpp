@@ -1,0 +1,110 @@
+// Lightweight per-stage telemetry for the serving-side hot paths. A
+// StageTimes is a fixed set of named stages (monotonic-clock seconds +
+// call counts) plus named counters, all index-addressed so recording is a
+// couple of adds — cheap enough for per-snapshot instrumentation. Workers
+// accumulate into private StageTimes instances (no locks in the hot path)
+// and merge into a shared Registry when their chunk completes; the
+// Registry renders the aggregate as flat (metric, value) pairs following
+// the bench_util JSON conventions ("stage.<name>.seconds", ".calls",
+// "counter.<name>").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aqua::telemetry {
+
+/// Seconds on the monotonic clock (for interval measurement only).
+inline double monotonic_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fixed-schema stage accumulator. Stage and counter names are set at
+/// construction; recording is by index so the hot path never touches a
+/// map or a string.
+class StageTimes {
+ public:
+  StageTimes() = default;
+  StageTimes(std::vector<std::string> stage_names, std::vector<std::string> counter_names);
+
+  std::size_t num_stages() const noexcept { return stage_names_.size(); }
+  std::size_t num_counters() const noexcept { return counter_names_.size(); }
+  const std::vector<std::string>& stage_names() const noexcept { return stage_names_; }
+
+  /// Adds one timed invocation of `stage` (index into stage_names).
+  void add_seconds(std::size_t stage, double seconds, std::uint64_t calls = 1);
+  void add_count(std::size_t counter, std::uint64_t n);
+
+  double seconds(std::size_t stage) const;
+  std::uint64_t calls(std::size_t stage) const;
+  std::uint64_t count(std::size_t counter) const;
+
+  /// Element-wise accumulation of another instance with the same schema.
+  void merge(const StageTimes& other);
+
+  /// Zeroes every accumulator (schema is retained).
+  void reset();
+
+  /// Flat metric pairs: "<prefix>stage.<name>.seconds", "....calls" and
+  /// "<prefix>counter.<name>", ready for bench_util::json_report.
+  std::vector<std::pair<std::string, double>> metrics(const std::string& prefix = "") const;
+
+ private:
+  std::vector<std::string> stage_names_;
+  std::vector<std::string> counter_names_;
+  std::vector<double> seconds_;
+  std::vector<std::uint64_t> calls_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// RAII interval timer: measures construction-to-destruction on the
+/// monotonic clock and adds it to one stage of a StageTimes.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimes& times, std::size_t stage)
+      : times_(times), stage_(stage), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedStageTimer() {
+    times_.add_seconds(
+        stage_, std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count());
+  }
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimes& times_;
+  std::size_t stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-safe aggregate of worker-local StageTimes. Workers call merge()
+/// once per chunk; readers take a consistent snapshot.
+class Registry {
+ public:
+  explicit Registry(StageTimes schema) : total_(std::move(schema)) {}
+
+  void merge(const StageTimes& worker) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_.merge(worker);
+  }
+
+  StageTimes snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_.reset();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  StageTimes total_;
+};
+
+}  // namespace aqua::telemetry

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/inference_engine.hpp"
 #include "fusion/weather.hpp"
 
 namespace aqua::core {
@@ -85,11 +86,15 @@ EvalResult ExperimentContext::evaluate_profile(const ProfileModel& profile,
   Rng root(config_.seed ^ 0x9999ULL);
   double total_infer_seconds = 0.0;
 
+  // Build the whole test batch up front, then run it through the batched
+  // serving layer in one call (bit-identical to the per-scenario loop, but
+  // the profile evaluation hoists the classifiers' shared input map).
+  std::vector<InferenceInputs> batch(test_scenarios_.size());
   for (std::size_t i = 0; i < test_scenarios_.size(); ++i) {
     const LeakScenario& scenario = test_scenarios_[i];
     Rng rng = root.split();
 
-    InferenceInputs inputs;
+    InferenceInputs& inputs = batch[i];
     inputs.features = test_batch_->features(i, profile.sensors, options.elapsed_index,
                                             profile.noise, rng, profile.include_time_feature);
     inputs.p_leak_given_freeze = weather_expert;
@@ -108,12 +113,15 @@ EvalResult ExperimentContext::evaluate_profile(const ProfileModel& profile,
       const auto cliques = tweet_generator.build_cliques(network_, tweets);
       inputs.cliques = to_label_cliques(cliques, labels_);
     }
+  }
 
-    const InferenceResult inference = infer_leaks(profile, inputs);
-    total_infer_seconds += inference.infer_seconds;
-    fused.push_back(inference.predicted);
-    iot_only.push_back(inference.predicted_iot_only);
-    truth.push_back(scenario.truth);
+  const InferenceEngine engine(profile);
+  const std::vector<InferenceResult> inferences = engine.infer_batch(batch);
+  for (std::size_t i = 0; i < inferences.size(); ++i) {
+    total_infer_seconds += inferences[i].infer_seconds;
+    fused.push_back(inferences[i].predicted);
+    iot_only.push_back(inferences[i].predicted_iot_only);
+    truth.push_back(test_scenarios_[i].truth);
   }
 
   result.hamming = ml::mean_hamming_score(fused, truth);

@@ -1,40 +1,15 @@
 #include "core/pipeline.hpp"
 
-#include <chrono>
-
 #include "common/error.hpp"
+#include "core/inference_engine.hpp"
 
 namespace aqua::core {
 
 InferenceResult infer_leaks(const ProfileModel& profile, const InferenceInputs& inputs) {
-  AQUA_REQUIRE(profile.model.fitted(), "profile model is not trained");
-  const auto start = std::chrono::steady_clock::now();
-
-  InferenceResult result;
-  // Event prediction: P = f.predict_proba(T, x); S = f.predict(T, x).
-  result.beliefs.p_leak = profile.model.predict_proba(inputs.features);
-  result.predicted_iot_only = result.beliefs.predicted_set();
-
-  // Weather expert (Algorithm 2 lines 6-13).
-  if (!inputs.frozen.empty()) {
-    result.weather_updates =
-        fusion::apply_weather_update(result.beliefs, inputs.frozen, inputs.p_leak_given_freeze);
-  }
-
-  // Human event tuning (lines 14-26).
-  result.energy_before =
-      fusion::total_energy(result.beliefs, inputs.cliques, inputs.entropy_threshold);
-  if (!inputs.cliques.empty()) {
-    result.tuning =
-        fusion::apply_human_tuning(result.beliefs, inputs.cliques, inputs.entropy_threshold);
-  }
-  result.energy_after =
-      fusion::total_energy(result.beliefs, inputs.cliques, inputs.entropy_threshold);
-
-  result.predicted = result.beliefs.predicted_set();
-  result.infer_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return result;
+  // Thin wrapper over the batched serving layer (batch of one), so the
+  // single-shot and batched paths are one implementation and stay
+  // bit-identical by construction.
+  return InferenceEngine(profile).infer(inputs);
 }
 
 std::vector<fusion::LabelClique> to_label_cliques(const std::vector<fusion::Clique>& cliques,

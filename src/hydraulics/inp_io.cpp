@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -35,6 +37,37 @@ double parse_double(const std::string& token, const std::string& context) {
   } catch (const std::exception&) {
     throw InvalidArgument("INP: bad number '" + token + "' in " + context);
   }
+}
+
+/// Strict integer field (e.g. a pattern index). Routing these through
+/// parse_double and casting would make "nan"/"inf"/1e300 undefined
+/// behavior (float-to-int conversion of an unrepresentable value), so
+/// integers get their own parser with an explicit range check.
+int parse_int(const std::string& token, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(token, &consumed);
+    AQUA_REQUIRE(consumed == token.size(), "trailing characters in integer");
+    AQUA_REQUIRE(value >= std::numeric_limits<int>::min() &&
+                     value <= std::numeric_limits<int>::max(),
+                 "integer out of range");
+    return static_cast<int>(value);
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("INP: bad integer '" + token + "' in " + context);
+  }
+}
+
+/// The section headers this reader understands. A malformed or unknown
+/// header is an error rather than a silently dropped section: a typo like
+/// [JUNCTION] would otherwise produce an empty network that only fails
+/// much later (or not at all).
+const std::set<std::string>& known_sections() {
+  static const std::set<std::string> sections = {
+      "[TITLE]", "[JUNCTIONS]", "[RESERVOIRS]", "[TANKS]",    "[PIPES]",       "[PUMPS]",
+      "[VALVES]", "[PATTERNS]",  "[EMITTERS]",   "[COORDINATES]", "[END]"};
+  return sections;
 }
 
 }  // namespace
@@ -124,6 +157,12 @@ Network read_inp(std::istream& in) {
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
     if (tokens.front().front() == '[') {
+      if (tokens.size() != 1 || tokens.front().size() < 3 || tokens.front().back() != ']') {
+        throw InvalidArgument("INP: malformed section header '" + line + "'");
+      }
+      if (known_sections().count(tokens.front()) == 0) {
+        throw InvalidArgument("INP: unknown section header '" + tokens.front() + "'");
+      }
       section = tokens.front();
       continue;
     }
@@ -132,6 +171,7 @@ Network read_inp(std::istream& in) {
       continue;
     }
     AQUA_REQUIRE(!section.empty(), "INP: content before any section header");
+    AQUA_REQUIRE(section != "[END]", "INP: content after [END]");
     sections[section].push_back(tokens);
   }
   if (!title_lines.empty()) {
@@ -156,7 +196,7 @@ Network read_inp(std::istream& in) {
     AQUA_REQUIRE(row.size() == 4, "INP: junction row needs 4 fields");
     network.add_junction(row[0], parse_double(row[1], "[JUNCTIONS]"),
                          parse_double(row[2], "[JUNCTIONS]"),
-                         static_cast<int>(parse_double(row[3], "[JUNCTIONS]")));
+                         parse_int(row[3], "[JUNCTIONS]"));
   }
   for (const auto& row : sections["[RESERVOIRS]"]) {
     AQUA_REQUIRE(row.size() == 2, "INP: reservoir row needs 2 fields");

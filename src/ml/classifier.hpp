@@ -20,8 +20,29 @@ class BinaryReader;
 
 namespace aqua::ml {
 
+/// Reusable per-worker scratch for batched prediction. Holding the
+/// buffers outside the classifiers keeps every const prediction path
+/// allocation-free after warm-up and trivially reentrant: concurrent
+/// callers each bring their own workspace.
+struct PredictWorkspace {
+  std::vector<double> mapped;    // shared input-map output (map_input)
+  std::vector<double> scratch;   // intermediate transform buffer
+  std::vector<double> scratch2;  // second intermediate (SVM map pipeline)
+};
+
 /// A probabilistic binary classifier (scikit-learn's fit / predict /
 /// predict_proba contract, which Algorithms 1-2 are written against).
+///
+/// Thread-safety contract (audited per implementation, enforced by
+/// tests/test_concurrency.cpp under -DAQUA_TSAN): every const member —
+/// predict_proba, predict, map_input, predict_proba_mapped, save_state —
+/// must be reentrant. Concretely: no mutable members, no lazily
+/// materialized caches, no static or global state, and no RNG use at
+/// prediction time (all randomness — SGD shuffling, bootstrap draws,
+/// random Fourier features — is consumed during fit() and frozen into
+/// plain data members). A fitted classifier may therefore be shared by
+/// any number of concurrent predictors without synchronization; fit() and
+/// load_state() are the only mutators and require exclusive access.
 class BinaryClassifier {
  public:
   virtual ~BinaryClassifier() = default;
@@ -36,6 +57,44 @@ class BinaryClassifier {
 
   /// Hard decision: S-membership per the paper is p(1) > p(0).
   bool predict(std::span<const double> x) const { return predict_proba(x) > 0.5; }
+
+  // --- Shared-input-map protocol (batched prediction) -----------------
+  //
+  // MultiLabelModel trains one classifier per label, all cloned from one
+  // configuration and fitted on the *same* feature matrix. Deterministic
+  // fits therefore produce bitwise-identical input transformations across
+  // labels (feature scalers, random-Fourier maps), and the per-snapshot
+  // prediction loop recomputes that identical map once per label. The
+  // protocol below lets a batch predictor hoist the map: one designated
+  // "owner" computes map_input(x) per snapshot, and every label's head
+  // runs predict_proba_mapped() on the shared buffer. Sharing only
+  // activates when accepts_input_map() verifies bitwise equality of the
+  // transform state, so the fast path is bit-identical to predict_proba
+  // by construction — it merely avoids recomputing equal subexpressions.
+
+  /// True when map_input() is the identity (the head consumes raw x).
+  virtual bool input_map_is_identity() const { return true; }
+
+  /// True when this classifier's predict_proba_mapped() is exact on the
+  /// map produced by `owner`'s map_input(). The default accepts identity
+  /// maps only; transforming classifiers override with a bitwise state
+  /// comparison, and degenerate constant models accept any owner (they
+  /// ignore the mapped features entirely).
+  virtual bool accepts_input_map(const BinaryClassifier& owner) const {
+    return owner.input_map_is_identity();
+  }
+
+  /// Writes this classifier's input map of x into ws.mapped (identity by
+  /// default). Must not allocate once ws buffers are warm.
+  virtual void map_input(std::span<const double> x, PredictWorkspace& ws) const {
+    ws.mapped.assign(x.begin(), x.end());
+  }
+
+  /// predict_proba() given a map produced by an accepted owner. Bitwise
+  /// equal to predict_proba(x) when accepts_input_map(owner) holds.
+  virtual double predict_proba_mapped(std::span<const double> mapped) const {
+    return predict_proba(mapped);
+  }
 
   /// A fresh, untrained classifier with the same hyper-parameters (used to
   /// instantiate one copy per node label).

@@ -114,11 +114,17 @@ Matrix StandardScaler::transform(const Matrix& x) const {
 }
 
 std::vector<double> StandardScaler::transform_row(std::span<const double> row) const {
+  std::vector<double> out;
+  transform_row_into(row, out);
+  return out;
+}
+
+void StandardScaler::transform_row_into(std::span<const double> row,
+                                        std::vector<double>& out) const {
   AQUA_REQUIRE(fitted(), "scaler not fitted");
   AQUA_REQUIRE(row.size() == mean_.size(), "scaler schema mismatch");
-  std::vector<double> out(row.size());
+  out.resize(row.size());
   for (std::size_t c = 0; c < row.size(); ++c) out[c] = (row[c] - mean_[c]) * inv_std_[c];
-  return out;
 }
 
 void StandardScaler::save(io::BinaryWriter& writer) const {

@@ -57,7 +57,18 @@ class StandardScaler {
   void fit(const Matrix& x);
   Matrix transform(const Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> row) const;
+  /// Allocation-free variant; `out` is resized to the schema width.
+  void transform_row_into(std::span<const double> row, std::vector<double>& out) const;
   bool fitted() const noexcept { return !mean_.empty(); }
+
+  /// Fitted state accessors (shared-input-map equality checks).
+  const std::vector<double>& mean() const noexcept { return mean_; }
+  const std::vector<double>& inv_std() const noexcept { return inv_std_; }
+  /// Bitwise equality of the fitted state — two identical() scalers
+  /// produce bit-identical transform output for the same input.
+  bool identical(const StandardScaler& other) const noexcept {
+    return mean_ == other.mean_ && inv_std_ == other.inv_std_;
+  }
 
   void save(io::BinaryWriter& writer) const;
   void load(io::BinaryReader& reader);

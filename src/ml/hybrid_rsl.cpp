@@ -1,5 +1,7 @@
 #include "ml/hybrid_rsl.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "io/binary.hpp"
 
@@ -34,6 +36,38 @@ void HybridRslClassifier::fit(const Matrix& x, const Labels& y) {
 double HybridRslClassifier::predict_proba(std::span<const double> x) const {
   if (constant_) return constant_probability_;
   const double meta_input[2] = {forest_.predict_proba(x), svm_.predict_proba(x)};
+  return meta_.predict_proba(std::span<const double>(meta_input, 2));
+}
+
+bool HybridRslClassifier::accepts_input_map(const BinaryClassifier& owner) const {
+  if (constant_) return true;
+  const auto* peer = dynamic_cast<const HybridRslClassifier*>(&owner);
+  // A non-constant hybrid's inner svm is non-constant too (both degenerate
+  // on exactly the single-class condition of the same targets), so the
+  // delegated check compares fitted transform state.
+  return peer != nullptr && !peer->constant_ && svm_.accepts_input_map(peer->svm_);
+}
+
+void HybridRslClassifier::map_input(std::span<const double> x, PredictWorkspace& ws) const {
+  if (constant_) {
+    ws.mapped.assign(x.begin(), x.end());
+    return;
+  }
+  svm_.map_input(x, ws);     // ws.mapped = inner SVM map
+  ws.scratch.swap(ws.mapped);  // scratch and scratch2 are free again here
+  ws.mapped.resize(x.size() + ws.scratch.size());
+  std::copy(x.begin(), x.end(), ws.mapped.begin());
+  std::copy(ws.scratch.begin(), ws.scratch.end(), ws.mapped.begin() + x.size());
+}
+
+double HybridRslClassifier::predict_proba_mapped(std::span<const double> mapped) const {
+  if (constant_) return constant_probability_;
+  const std::size_t svm_dim =
+      config_.svm.rff_dimension > 0 ? config_.svm.rff_dimension : mapped.size() / 2;
+  AQUA_REQUIRE(mapped.size() > svm_dim, "hybrid shared map too small");
+  const std::size_t d = mapped.size() - svm_dim;
+  const double meta_input[2] = {forest_.predict_proba(mapped.first(d)),
+                                svm_.predict_proba_mapped(mapped.subspan(d))};
   return meta_.predict_proba(std::span<const double>(meta_input, 2));
 }
 

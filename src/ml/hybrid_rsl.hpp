@@ -24,6 +24,15 @@ class HybridRslClassifier final : public BinaryClassifier {
 
   void fit(const Matrix& x, const Labels& y) override;
   double predict_proba(std::span<const double> x) const override;
+  /// Shared-input-map protocol: the map is [x | svm-map(x)] — raw
+  /// features for the forest branch, the inner SVM's full feature
+  /// pipeline (shared across labels, see SvmClassifier) for the SVM
+  /// branch. Heads run the per-label trees, linear SVM weights and meta
+  /// logistic on the shared buffer.
+  bool input_map_is_identity() const override { return false; }
+  bool accepts_input_map(const BinaryClassifier& owner) const override;
+  void map_input(std::span<const double> x, PredictWorkspace& ws) const override;
+  double predict_proba_mapped(std::span<const double> mapped) const override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "HybridRSL"; }
   void save_state(io::BinaryWriter& writer) const override;

@@ -164,7 +164,31 @@ double LinearModelCore::decision(std::span<const double> x) const {
   return z;
 }
 
+double LinearModelCore::decision_pretransformed(std::span<const double> xs) const {
+  AQUA_REQUIRE(!constant_, "decision() on a degenerate constant model");
+  AQUA_REQUIRE(xs.size() == weights_.size(), "pretransformed feature size mismatch");
+  double z = bias_;
+  for (std::size_t c = 0; c < xs.size(); ++c) z += weights_[c] * xs[c];
+  return z;
+}
+
 }  // namespace detail
+
+namespace {
+
+/// Shared-map acceptance for the linear family: degenerate constants
+/// accept any owner (they ignore the map); fitted models require an owner
+/// of the same concrete type whose scaler state is bitwise identical.
+template <typename Classifier>
+bool linear_accepts_input_map(const detail::LinearModelCore& core,
+                              const BinaryClassifier& owner) {
+  if (core.constant()) return true;
+  const auto* peer = dynamic_cast<const Classifier*>(&owner);
+  return peer != nullptr && !peer->core().constant() &&
+         core.scaler().identical(peer->core().scaler());
+}
+
+}  // namespace
 
 LinearRegressionClassifier::LinearRegressionClassifier(SgdConfig config)
     : config_(config), core_(detail::LinearLoss::kSquared, config) {}
@@ -174,6 +198,26 @@ void LinearRegressionClassifier::fit(const Matrix& x, const Labels& y) { core_.f
 double LinearRegressionClassifier::predict_proba(std::span<const double> x) const {
   if (core_.constant()) return core_.constant_probability();
   return std::clamp(core_.decision(x), 0.0, 1.0);
+}
+
+bool LinearRegressionClassifier::accepts_input_map(const BinaryClassifier& owner) const {
+  return linear_accepts_input_map<LinearRegressionClassifier>(core_, owner);
+}
+
+void LinearRegressionClassifier::map_input(std::span<const double> x,
+                                           PredictWorkspace& ws) const {
+  // A degenerate constant never fitted its scaler; it can still serve as
+  // map owner for a model whose every label is constant (heads ignore it).
+  if (core_.constant()) {
+    ws.mapped.assign(x.begin(), x.end());
+    return;
+  }
+  core_.scaler().transform_row_into(x, ws.mapped);
+}
+
+double LinearRegressionClassifier::predict_proba_mapped(std::span<const double> mapped) const {
+  if (core_.constant()) return core_.constant_probability();
+  return std::clamp(core_.decision_pretransformed(mapped), 0.0, 1.0);
 }
 
 std::unique_ptr<BinaryClassifier> LinearRegressionClassifier::clone_config() const {
@@ -198,6 +242,24 @@ void LogisticRegressionClassifier::fit(const Matrix& x, const Labels& y) { core_
 double LogisticRegressionClassifier::predict_proba(std::span<const double> x) const {
   if (core_.constant()) return core_.constant_probability();
   return sigmoid(core_.decision(x));
+}
+
+bool LogisticRegressionClassifier::accepts_input_map(const BinaryClassifier& owner) const {
+  return linear_accepts_input_map<LogisticRegressionClassifier>(core_, owner);
+}
+
+void LogisticRegressionClassifier::map_input(std::span<const double> x,
+                                             PredictWorkspace& ws) const {
+  if (core_.constant()) {
+    ws.mapped.assign(x.begin(), x.end());
+    return;
+  }
+  core_.scaler().transform_row_into(x, ws.mapped);
+}
+
+double LogisticRegressionClassifier::predict_proba_mapped(std::span<const double> mapped) const {
+  if (core_.constant()) return core_.constant_probability();
+  return sigmoid(core_.decision_pretransformed(mapped));
 }
 
 std::unique_ptr<BinaryClassifier> LogisticRegressionClassifier::clone_config() const {

@@ -29,9 +29,13 @@ class LinearModelCore {
 
   void fit(const Matrix& x, const Labels& y);
   double decision(std::span<const double> x) const;
+  /// decision() on features already standardized by this core's scaler
+  /// (shared-input-map fast path): bias + w.xs, no transform, no alloc.
+  double decision_pretransformed(std::span<const double> xs) const;
   bool constant() const noexcept { return constant_; }
   double constant_probability() const noexcept { return constant_probability_; }
   const std::vector<double>& weights() const noexcept { return weights_; }
+  const StandardScaler& scaler() const noexcept { return scaler_; }
 
   void save(io::BinaryWriter& writer) const;
   void load(io::BinaryReader& reader);
@@ -61,10 +65,15 @@ class LinearRegressionClassifier final : public BinaryClassifier {
                           .seed = 13});
   void fit(const Matrix& x, const Labels& y) override;
   double predict_proba(std::span<const double> x) const override;
+  bool input_map_is_identity() const override { return false; }
+  bool accepts_input_map(const BinaryClassifier& owner) const override;
+  void map_input(std::span<const double> x, PredictWorkspace& ws) const override;
+  double predict_proba_mapped(std::span<const double> mapped) const override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "LinearR"; }
   void save_state(io::BinaryWriter& writer) const override;
   void load_state(io::BinaryReader& reader) override;
+  const detail::LinearModelCore& core() const noexcept { return core_; }
 
  private:
   SgdConfig config_;
@@ -77,10 +86,15 @@ class LogisticRegressionClassifier final : public BinaryClassifier {
   explicit LogisticRegressionClassifier(SgdConfig config = {});
   void fit(const Matrix& x, const Labels& y) override;
   double predict_proba(std::span<const double> x) const override;
+  bool input_map_is_identity() const override { return false; }
+  bool accepts_input_map(const BinaryClassifier& owner) const override;
+  void map_input(std::span<const double> x, PredictWorkspace& ws) const override;
+  double predict_proba_mapped(std::span<const double> mapped) const override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "LogisticR"; }
   void save_state(io::BinaryWriter& writer) const override;
   void load_state(io::BinaryReader& reader) override;
+  const detail::LinearModelCore& core() const noexcept { return core_; }
 
  private:
   SgdConfig config_;

@@ -30,6 +30,24 @@ void MultiLabelModel::fit(const MultiLabelDataset& data, bool parallel) {
   } else {
     for (std::size_t v = 0; v < labels; ++v) train_one(v);
   }
+  detect_shared_input_map();
+}
+
+void MultiLabelModel::detect_shared_input_map() {
+  shared_map_owner_ = kNoSharedMap;
+  for (std::size_t candidate = 0; candidate < classifiers_.size(); ++candidate) {
+    bool accepted_by_all = true;
+    for (const auto& c : classifiers_) {
+      if (!c->accepts_input_map(*classifiers_[candidate])) {
+        accepted_by_all = false;
+        break;
+      }
+    }
+    if (accepted_by_all) {
+      shared_map_owner_ = candidate;
+      return;
+    }
+  }
 }
 
 std::vector<double> MultiLabelModel::predict_proba(std::span<const double> x) const {
@@ -75,6 +93,54 @@ std::vector<Labels> MultiLabelModel::predict_batch(const Matrix& x, bool paralle
   return out;
 }
 
+void MultiLabelModel::predict_proba_batch_into(const Matrix& x, Matrix& out,
+                                               bool parallel) const {
+  AQUA_REQUIRE(fitted(), "predict on unfitted model");
+  const std::size_t labels = classifiers_.size();
+  if (out.rows() != x.rows() || out.cols() != labels) out = Matrix(x.rows(), labels);
+
+  if (shared_map_owner_ != kNoSharedMap) {
+    // Row-major with a hoisted shared map: one map_input per snapshot,
+    // per-label heads on the shared buffer. Chunked so each task reuses
+    // one workspace across its rows (no per-row allocation).
+    const BinaryClassifier& owner = *classifiers_[shared_map_owner_];
+    auto& pool = ThreadPool::global();
+    const std::size_t chunks =
+        parallel ? std::max<std::size_t>(1, std::min(pool.size(), x.rows())) : 1;
+    const std::size_t per_chunk = (x.rows() + chunks - 1) / std::max<std::size_t>(chunks, 1);
+    auto run_chunk = [&](std::size_t chunk) {
+      PredictWorkspace ws;
+      const std::size_t begin = chunk * per_chunk;
+      const std::size_t end = std::min(begin + per_chunk, x.rows());
+      for (std::size_t r = begin; r < end; ++r) {
+        owner.map_input(x.row(r), ws);
+        auto dst = out.row(r);
+        for (std::size_t v = 0; v < labels; ++v) {
+          dst[v] = classifiers_[v]->predict_proba_mapped(ws.mapped);
+        }
+      }
+    };
+    if (chunks > 1) {
+      pool.parallel_for(chunks, run_chunk);
+    } else {
+      run_chunk(0);
+    }
+    return;
+  }
+
+  // No shared map: label-major sweep so each classifier's fitted state
+  // stays cache-hot across the whole batch.
+  auto run_label = [&](std::size_t v) {
+    const BinaryClassifier& c = *classifiers_[v];
+    for (std::size_t r = 0; r < x.rows(); ++r) out(r, v) = c.predict_proba(x.row(r));
+  };
+  if (parallel) {
+    ThreadPool::global().parallel_for(labels, run_label);
+  } else {
+    for (std::size_t v = 0; v < labels; ++v) run_label(v);
+  }
+}
+
 const BinaryClassifier& MultiLabelModel::classifier(std::size_t label) const {
   AQUA_REQUIRE(label < classifiers_.size(), "label index out of range");
   return *classifiers_[label];
@@ -101,6 +167,7 @@ MultiLabelModel MultiLabelModel::load(io::BinaryReader& reader) {
   auto prototype =
       std::shared_ptr<BinaryClassifier>(model.classifiers_.front()->clone_config());
   model.factory_ = [prototype] { return prototype->clone_config(); };
+  model.detect_shared_input_map();
   return model;
 }
 

@@ -39,6 +39,20 @@ class MultiLabelModel {
                                                        bool parallel = true) const;
   std::vector<Labels> predict_batch(const Matrix& x, bool parallel = true) const;
 
+  /// Batched predict_proba over stacked feature rows: `out` becomes
+  /// rows x num_labels. When every label accepts one classifier's input
+  /// map (detected once after fit/load; see BinaryClassifier's shared-
+  /// input-map protocol), the map is computed once per row and only the
+  /// per-label heads run — bit-identical to per-row predict_proba, since
+  /// sharing only elides recomputation of bitwise-equal subexpressions.
+  /// Otherwise falls back to a label-major sweep (per-label model state
+  /// stays cache-hot across the whole batch). Reentrant: safe to call
+  /// concurrently on a fitted model.
+  void predict_proba_batch_into(const Matrix& x, Matrix& out, bool parallel = true) const;
+
+  /// True when batched prediction hoists a shared input map.
+  bool has_shared_input_map() const noexcept { return shared_map_owner_ != kNoSharedMap; }
+
   const BinaryClassifier& classifier(std::size_t label) const;
 
   /// Serializes every per-label classifier (kind tag + state). A loaded
@@ -48,8 +62,16 @@ class MultiLabelModel {
   static MultiLabelModel load(io::BinaryReader& reader);
 
  private:
+  static constexpr std::size_t kNoSharedMap = static_cast<std::size_t>(-1);
+
+  /// Scans for a classifier whose input map every label accepts; caching
+  /// the owner index here keeps engine construction and batch calls free
+  /// of the O(labels^2) bitwise state comparison.
+  void detect_shared_input_map();
+
   ClassifierFactory factory_;
   std::vector<std::unique_ptr<BinaryClassifier>> classifiers_;
+  std::size_t shared_map_owner_ = kNoSharedMap;
 };
 
 }  // namespace aqua::ml

@@ -119,6 +119,48 @@ double SvmClassifier::predict_proba(std::span<const double> x) const {
   return sigmoid(platt_a_ * decision_value(x) + platt_b_);
 }
 
+bool SvmClassifier::accepts_input_map(const BinaryClassifier& owner) const {
+  if (constant_) return true;  // ignores the map entirely
+  const auto* peer = dynamic_cast<const SvmClassifier*>(&owner);
+  if (peer == nullptr || peer->constant_) return false;
+  return config_.rff_dimension == peer->config_.rff_dimension &&
+         input_scaler_.identical(peer->input_scaler_) &&
+         rff_weights_.rows() == peer->rff_weights_.rows() &&
+         rff_weights_.cols() == peer->rff_weights_.cols() &&
+         rff_weights_.data() == peer->rff_weights_.data() &&
+         rff_offsets_ == peer->rff_offsets_ &&
+         core_.scaler().identical(peer->core_.scaler());
+}
+
+void SvmClassifier::map_input(std::span<const double> x, PredictWorkspace& ws) const {
+  if (constant_) {  // never fitted; identity map for the all-constant case
+    ws.mapped.assign(x.begin(), x.end());
+    return;
+  }
+  // Same arithmetic as predict_proba's map_features + core scaler, with
+  // every intermediate in caller-owned buffers.
+  if (config_.rff_dimension == 0) {
+    ws.scratch2.assign(x.begin(), x.end());
+  } else {
+    input_scaler_.transform_row_into(x, ws.scratch);
+    const std::size_t d = ws.scratch.size();
+    ws.scratch2.resize(config_.rff_dimension);
+    const double scale = std::sqrt(2.0 / static_cast<double>(config_.rff_dimension));
+    for (std::size_t k = 0; k < config_.rff_dimension; ++k) {
+      double dot = rff_offsets_[k];
+      const auto row = rff_weights_.row(k);
+      for (std::size_t c = 0; c < d; ++c) dot += row[c] * ws.scratch[c];
+      ws.scratch2[k] = scale * std::cos(dot);
+    }
+  }
+  core_.scaler().transform_row_into(ws.scratch2, ws.mapped);
+}
+
+double SvmClassifier::predict_proba_mapped(std::span<const double> mapped) const {
+  if (constant_) return constant_probability_;
+  return sigmoid(platt_a_ * core_.decision_pretransformed(mapped) + platt_b_);
+}
+
 std::unique_ptr<BinaryClassifier> SvmClassifier::clone_config() const {
   return std::make_unique<SvmClassifier>(config_);
 }

@@ -26,6 +26,17 @@ class SvmClassifier final : public BinaryClassifier {
 
   void fit(const Matrix& x, const Labels& y) override;
   double predict_proba(std::span<const double> x) const override;
+  /// Shared-input-map protocol: the map is the full feature pipeline
+  /// (input scaler -> random Fourier features -> decision-space scaler),
+  /// which is bitwise identical across a MultiLabelModel's labels (same
+  /// training features, same seeds); only w, b and the Platt sigmoid are
+  /// per-label. Hoisting it is the dominant batched-inference win: the
+  /// RFF map (D x d multiplies + D cosines) runs once per snapshot
+  /// instead of once per label.
+  bool input_map_is_identity() const override { return false; }
+  bool accepts_input_map(const BinaryClassifier& owner) const override;
+  void map_input(std::span<const double> x, PredictWorkspace& ws) const override;
+  double predict_proba_mapped(std::span<const double> mapped) const override;
   /// Raw (pre-Platt) decision value, exposed for tests.
   double decision_value(std::span<const double> x) const;
   std::unique_ptr<BinaryClassifier> clone_config() const override;

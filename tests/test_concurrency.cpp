@@ -1,0 +1,124 @@
+// Thread-safety of the const prediction paths (see the contract on
+// ml::BinaryClassifier): concurrent predict_proba on one shared fitted
+// model of every kind, and concurrent infer/infer_batch on one shared
+// InferenceEngine, must produce exactly the serial results with no data
+// races. These tests are meaningful under TSan (-DAQUA_TSAN=ON) — they
+// spawn raw std::threads on purpose, rather than going through the global
+// pool, so the sanitizer sees genuinely concurrent first-touch access to
+// the shared fitted state.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/aquascale.hpp"
+#include "core/inference_engine.hpp"
+
+namespace aqua::core {
+namespace {
+
+ml::MultiLabelDataset synthetic_dataset(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t samples = 80, features = 6, labels = 5;
+  ml::MultiLabelDataset data;
+  data.features = ml::Matrix(samples, features);
+  data.labels.assign(samples, ml::Labels(labels, 0));
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (std::size_t c = 0; c < features; ++c) data.features(i, c) = rng.normal();
+    for (std::size_t v = 0; v < labels; ++v) {
+      data.labels[i][v] = data.features(i, v % features) + 0.2 * rng.normal() > 0.0 ? 1 : 0;
+    }
+  }
+  return data;
+}
+
+class ConcurrentPredict : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ConcurrentPredict, SharedModelPredictsIdenticallyFromManyThreads) {
+  const auto data = synthetic_dataset(0x4242);
+  ml::MultiLabelModel model(make_classifier_factory(GetParam()));
+  model.fit(data);
+
+  // Serial reference over every training row.
+  std::vector<std::vector<double>> expected(data.num_samples());
+  for (std::size_t i = 0; i < data.num_samples(); ++i) {
+    expected[i] = model.predict_proba(data.features.row(i));
+  }
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::vector<std::vector<double>>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[t].resize(data.num_samples());
+      for (std::size_t i = 0; i < data.num_samples(); ++i) {
+        got[t][i] = model.predict_proba(data.features.row(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t], expected) << model_kind_name(GetParam()) << " thread " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ConcurrentPredict,
+                         ::testing::Values(ModelKind::kLinearR, ModelKind::kLogisticR,
+                                           ModelKind::kGradientBoosting,
+                                           ModelKind::kRandomForest, ModelKind::kSvm,
+                                           ModelKind::kHybridRsl));
+
+TEST(ConcurrentEngine, SharedEngineInfersIdenticallyFromManyThreads) {
+  const auto data = synthetic_dataset(0x1212);
+  ProfileModel profile;
+  profile.kind = ModelKind::kHybridRsl;
+  profile.model = ml::MultiLabelModel(make_classifier_factory(profile.kind));
+  profile.model.fit(data);
+
+  Rng rng(0x9090);
+  std::vector<InferenceInputs> batch(16);
+  for (auto& inputs : batch) {
+    for (std::size_t c = 0; c < data.num_features(); ++c) inputs.features.push_back(rng.normal());
+    inputs.frozen.assign(profile.model.num_labels(), 0);
+    inputs.frozen[0] = 1;
+    fusion::LabelClique clique;
+    clique.labels = {1, 2};
+    inputs.cliques.push_back(clique);
+  }
+
+  const InferenceEngine engine(profile);
+  const auto expected = engine.infer_batch(batch);
+
+  constexpr std::size_t kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Mix batched and single-shot calls so the telemetry registry and
+      // the fusion hot path both see real contention.
+      const auto results = engine.infer_batch(batch);
+      bool all_equal = results.size() == expected.size();
+      for (std::size_t i = 0; all_equal && i < results.size(); ++i) {
+        all_equal = results[i].beliefs.p_leak == expected[i].beliefs.p_leak &&
+                    results[i].predicted == expected[i].predicted &&
+                    results[i].energy_after == expected[i].energy_after;
+      }
+      const auto single = engine.infer(batch[t % batch.size()]);
+      all_equal = all_equal &&
+                  single.beliefs.p_leak == expected[t % batch.size()].beliefs.p_leak;
+      ok[t] = all_equal ? 1 : 0;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], 1) << "thread " << t;
+
+  // Telemetry survived the concurrent merges with a consistent total.
+  const auto times = engine.telemetry_snapshot();
+  EXPECT_EQ(times.count(InferenceEngine::kCounterSnapshots),
+            batch.size() + kThreads * (batch.size() + 1));
+}
+
+}  // namespace
+}  // namespace aqua::core

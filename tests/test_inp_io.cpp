@@ -101,6 +101,90 @@ TEST(InpIo, UnknownNodeReferenceRejected) {
   EXPECT_THROW(from_inp("[RESERVOIRS]\nR 50\n[PIPES]\nP R MISSING 100 0.3 120 OPEN\n"), NotFound);
 }
 
+// ---------------------------------------------------------------------------
+// Fuzz-style robustness corpus: every malformed, truncated, or hostile
+// input must raise a typed error (InvalidArgument / NotFound) — never
+// crash, hang, or silently produce a wrong network. Run under
+// scripts/sanitize_tests.sh so UB (e.g. float-to-int of NaN) is caught,
+// not just the throw.
+// ---------------------------------------------------------------------------
+
+struct HostileInput {
+  const char* label;
+  const char* text;
+};
+
+class HostileInp : public ::testing::TestWithParam<HostileInput> {};
+
+TEST_P(HostileInp, RaisesTypedErrorWithoutCrashing) {
+  try {
+    (void)from_inp(GetParam().text);
+    FAIL() << GetParam().label << ": hostile input was accepted";
+  } catch (const InvalidArgument&) {
+  } catch (const NotFound&) {
+  }
+  // Any other exception type (or a crash) fails the test.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, HostileInp,
+    ::testing::Values(
+        // Section-header abuse.
+        HostileInput{"unknown_section", "[JUNCTION]\nA 5.0 1.0 -1\n"},
+        HostileInput{"misspelled_section", "[RESEVOIRS]\nR 50\n"},
+        HostileInput{"unclosed_bracket", "[JUNCTIONS\nA 5.0 1.0 -1\n"},
+        HostileInput{"split_bracket", "[ JUNCTIONS ]\nA 5.0 1.0 -1\n"},
+        HostileInput{"bare_bracket", "[\nA 5.0 1.0 -1\n"},
+        HostileInput{"header_trailing_tokens", "[JUNCTIONS] extra\nA 5.0 1.0 -1\n"},
+        HostileInput{"content_after_end", "[RESERVOIRS]\nR 50\n[END]\nlingering junk\n"},
+        HostileInput{"content_before_section", "orphan line\n[RESERVOIRS]\nR 50\n"},
+        // Non-numeric and non-finite numeric fields.
+        HostileInput{"nan_pattern_index", "[JUNCTIONS]\nA 5.0 1.0 nan\n"},
+        HostileInput{"inf_pattern_index", "[JUNCTIONS]\nA 5.0 1.0 inf\n"},
+        HostileInput{"float_pattern_index", "[JUNCTIONS]\nA 5.0 1.0 1.5\n"},
+        HostileInput{"huge_pattern_index", "[JUNCTIONS]\nA 5.0 1.0 99999999999999999999\n"},
+        HostileInput{"hex_garbage_number", "[RESERVOIRS]\nR 0xZZ\n"},
+        HostileInput{"number_with_trailer", "[RESERVOIRS]\nR 50.0abc\n"},
+        HostileInput{"overflowing_double", "[RESERVOIRS]\nR 1e309\n"},
+        HostileInput{"empty_exponent", "[RESERVOIRS]\nR 1e\n"},
+        // Truncated rows.
+        HostileInput{"truncated_junction", "[JUNCTIONS]\nA 5.0\n"},
+        HostileInput{"truncated_tank", "[TANKS]\nT 40 3 1\n"},
+        HostileInput{"truncated_pipe", "[RESERVOIRS]\nR 50\n[PIPES]\nP R\n"},
+        HostileInput{"pattern_without_multipliers", "[PATTERNS]\n0\n"},
+        // Dangling references and duplicates.
+        HostileInput{"pipe_to_missing_node",
+                     "[RESERVOIRS]\nR 50\n[PIPES]\nP R GHOST 100 0.3 120 OPEN\n"},
+        HostileInput{"emitter_on_missing_node", "[EMITTERS]\nGHOST 0.002 0.5\n"},
+        HostileInput{"coordinates_for_missing_node", "[COORDINATES]\nGHOST 0 0\n"},
+        HostileInput{"pattern_ref_out_of_range", "[JUNCTIONS]\nA 5.0 1.0 7\n"},
+        HostileInput{"duplicate_node_name", "[RESERVOIRS]\nR 50\nR 60\n"},
+        HostileInput{"duplicate_link_name",
+                     "[RESERVOIRS]\nR 50\n[JUNCTIONS]\nA 5.0 1.0 -1\n"
+                     "[PIPES]\nP R A 100 0.3 120 OPEN\nP R A 90 0.3 120 OPEN\n"},
+        HostileInput{"self_loop_pipe",
+                     "[RESERVOIRS]\nR 50\n[PIPES]\nP R R 100 0.3 120 OPEN\n"},
+        // Physically invalid values (Network::add_* validation).
+        HostileInput{"negative_pipe_length",
+                     "[RESERVOIRS]\nR 50\n[JUNCTIONS]\nA 5.0 1.0 -1\n"
+                     "[PIPES]\nP R A -100 0.3 120 OPEN\n"},
+        HostileInput{"zero_pipe_diameter",
+                     "[RESERVOIRS]\nR 50\n[JUNCTIONS]\nA 5.0 1.0 -1\n"
+                     "[PIPES]\nP R A 100 0 120 OPEN\n"},
+        HostileInput{"tank_levels_inverted", "[TANKS]\nT 40 3 6 1 12\n"},
+        HostileInput{"negative_emitter",
+                     "[JUNCTIONS]\nA 5.0 1.0 -1\n[EMITTERS]\nA -0.5 0.5\n"}),
+    [](const ::testing::TestParamInfo<HostileInput>& info) { return info.param.label; });
+
+TEST(InpIo, NearMissStillParses) {
+  // Sanity guard for the corpus: well-formed cousins of the hostile
+  // inputs must keep parsing, so the hardening is not over-rejecting.
+  EXPECT_NO_THROW((void)from_inp("[JUNCTIONS]\nA 5.0 1.0 -1\n"));
+  EXPECT_NO_THROW((void)from_inp("[RESERVOIRS]\nR 50\n[END]\n"));
+  EXPECT_NO_THROW((void)from_inp(
+      "[PATTERNS]\n0 0.5 1.5\n[JUNCTIONS]\nA 5.0 1.0 0\n"));
+}
+
 TEST(InpIo, BuiltinNetworksRoundTrip) {
   for (const auto& original : {networks::make_epa_net(), networks::make_wssc_subnet()}) {
     const Network parsed = from_inp(to_inp(original));
