@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and runs the figure-reproduction benches, then copies their
+# machine-readable BENCH_*.json reports into the repo root so committed
+# reports stay next to EXPERIMENTS.md.
+#
+# Usage: scripts/run_benches.sh [name ...]
+#        e.g. scripts/run_benches.sh profile_fit phase1_training
+#        With no arguments, every bench_* binary in the build tree runs.
+#        AQUA_SCALE scales scenario counts (see bench/bench_util.hpp).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+cmake -B "$BUILD_DIR" -S . > /dev/null
+if [[ $# -gt 0 ]]; then
+  targets=()
+  for name in "$@"; do targets+=("bench_${name}"); done
+  cmake --build "$BUILD_DIR" -j --target "${targets[@]}"
+else
+  cmake --build "$BUILD_DIR" -j
+fi
+
+cd "$BUILD_DIR/bench"
+if [[ $# -gt 0 ]]; then
+  benches=()
+  for name in "$@"; do benches+=("./bench_${name}"); done
+else
+  # Skip the google-benchmark micro harness: it emits no BENCH json.
+  mapfile -t benches < <(find . -maxdepth 1 -name 'bench_*' -type f \
+    ! -name bench_micro_hydraulics | sort)
+fi
+
+for bench in "${benches[@]}"; do
+  echo "== ${bench#./} =="
+  "$bench"
+done
+
+cd ../..
+shopt -s nullglob
+for report in "$BUILD_DIR"/bench/BENCH_*.json; do
+  cp "$report" .
+  echo "collected $(basename "$report")"
+done

@@ -35,20 +35,32 @@ std::vector<ModelKind> all_model_kinds() {
           ModelKind::kRandomForest, ModelKind::kSvm, ModelKind::kHybridRsl};
 }
 
-ml::ClassifierFactory make_classifier_factory(ModelKind kind) {
+ml::ClassifierFactory make_classifier_factory(ModelKind kind, std::size_t max_bins) {
   switch (kind) {
     case ModelKind::kLinearR:
       return [] { return std::make_unique<ml::LinearRegressionClassifier>(); };
     case ModelKind::kLogisticR:
       return [] { return std::make_unique<ml::LogisticRegressionClassifier>(); };
     case ModelKind::kGradientBoosting:
-      return [] { return std::make_unique<ml::GradientBoostingClassifier>(); };
+      return [max_bins] {
+        ml::GradientBoostingConfig config;
+        if (max_bins > 0) config.max_bins = max_bins;
+        return std::make_unique<ml::GradientBoostingClassifier>(config);
+      };
     case ModelKind::kRandomForest:
-      return [] { return std::make_unique<ml::RandomForestClassifier>(); };
+      return [max_bins] {
+        ml::RandomForestConfig config;
+        if (max_bins > 0) config.max_bins = max_bins;
+        return std::make_unique<ml::RandomForestClassifier>(config);
+      };
     case ModelKind::kSvm:
       return [] { return std::make_unique<ml::SvmClassifier>(); };
     case ModelKind::kHybridRsl:
-      return [] { return std::make_unique<ml::HybridRslClassifier>(); };
+      return [max_bins] {
+        ml::HybridRslConfig config;
+        if (max_bins > 0) config.forest.max_bins = max_bins;
+        return std::make_unique<ml::HybridRslClassifier>(config);
+      };
   }
   throw InvalidArgument("unknown model kind");
 }
@@ -104,7 +116,7 @@ ProfileModel train_profile(const SnapshotBatch& batch, std::span<const LeakScena
   profile.include_time_feature = config.include_time_feature;
   profile.kind = config.kind;
   profile.elapsed_index = elapsed_index;
-  profile.model = ml::MultiLabelModel(make_classifier_factory(config.kind));
+  profile.model = ml::MultiLabelModel(make_classifier_factory(config.kind, config.max_bins));
 
   const auto dataset = batch.build_dataset(scenarios, sensors, elapsed_index, config.noise,
                                            config.noise_seed, config.include_time_feature);

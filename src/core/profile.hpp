@@ -29,8 +29,10 @@ std::string model_kind_name(ModelKind kind);
 std::vector<ModelKind> all_model_kinds();
 
 /// Factory producing fresh classifiers of the given kind with sensible
-/// defaults for per-node leak classification.
-ml::ClassifierFactory make_classifier_factory(ModelKind kind);
+/// defaults for per-node leak classification. `max_bins` overrides the
+/// tree ensembles' histogram bin budget (0 = keep the kind's default;
+/// ignored by non-tree kinds).
+ml::ClassifierFactory make_classifier_factory(ModelKind kind, std::size_t max_bins = 0);
 
 /// The trained profile plus everything needed to featurize live data the
 /// same way the training set was featurized.
@@ -59,6 +61,8 @@ struct ProfileTrainingConfig {
   bool include_time_feature = true;
   std::uint64_t noise_seed = 555;
   bool parallel = true;
+  /// Histogram bin budget for tree-ensemble kinds (0 = kind default).
+  std::size_t max_bins = 0;
 };
 
 /// Trains a profile on the batch's scenarios at the given elapsed index.

@@ -35,7 +35,7 @@ enum class LinearSolver {
 
 struct SolverOptions {
   HeadLossModel headloss = HeadLossModel::kHazenWilliams;
-  std::size_t max_iterations = 200;
+  std::size_t max_iterations = 600;
   /// Convergence: sum of |flow change| over sum of |flow| (EPANET ACCURACY).
   double accuracy = 1e-4;
   /// Throw SolverError on non-convergence instead of returning best effort.

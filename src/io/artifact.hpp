@@ -24,7 +24,8 @@
 
 namespace aqua::io {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: GB/RF/HybridRSL classifier states gained max_bins + exact_splits.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Collects named sections in memory, then emits the container.
 class ArtifactWriter {

@@ -4,39 +4,89 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace aqua::ml {
 
-void FeatureBinning::fit(const linalg::Matrix& x, std::size_t max_bins) {
+namespace detail {
+
+std::vector<double> quantile_cuts(std::span<const double> sorted_column, std::size_t max_bins) {
+  const std::size_t n = sorted_column.size();
+  std::vector<double> cuts;
+  for (std::size_t b = 1; b < max_bins; ++b) {
+    const std::size_t idx = b * (n - 1) / max_bins;
+    const double cut = sorted_column[idx];
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  // Drop a trailing cut equal to the maximum (it would create an empty
+  // top bin).
+  while (!cuts.empty() && cuts.back() >= sorted_column.back()) cuts.pop_back();
+  return cuts;
+}
+
+namespace {
+
+/// Sorts feature `f`'s column, derives its cuts, and encodes every sample
+/// through `write_code(row, code)`. One call per feature; features are
+/// independent, so callers may fan these out across threads.
+template <typename WriteCode>
+std::vector<double> bin_feature(const linalg::Matrix& x, std::size_t f, std::size_t max_bins,
+                                std::vector<double>& column, WriteCode write_code) {
+  const std::size_t n = x.rows();
+  column.resize(n);
+  for (std::size_t r = 0; r < n; ++r) column[r] = x(r, f);
+  std::sort(column.begin(), column.end());
+  std::vector<double> cuts = quantile_cuts(column, max_bins);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double v = x(r, f);
+    const auto it = std::lower_bound(cuts.begin(), cuts.end(), v);
+    // v <= cuts[k] -> bin k; v > all cuts -> last bin.
+    write_code(r, static_cast<std::uint8_t>(it - cuts.begin()));
+  }
+  return cuts;
+}
+
+}  // namespace
+}  // namespace detail
+
+void FeatureBinning::fit(const linalg::Matrix& x, std::size_t max_bins, bool parallel) {
   AQUA_REQUIRE(x.rows() > 0, "cannot bin an empty matrix");
   AQUA_REQUIRE(max_bins >= 2 && max_bins <= kMaxBins, "max_bins out of range");
   const std::size_t n = x.rows(), d = x.cols();
   cuts_.assign(d, {});
   codes_.assign(n * d, 0);
 
-  std::vector<double> column(n);
-  for (std::size_t f = 0; f < d; ++f) {
-    for (std::size_t r = 0; r < n; ++r) column[r] = x(r, f);
-    std::sort(column.begin(), column.end());
+  auto bin_one = [&](std::size_t f) {
+    std::vector<double> column;
+    cuts_[f] = detail::bin_feature(x, f, max_bins, column,
+                                   [&](std::size_t r, std::uint8_t c) { codes_[r * d + f] = c; });
+  };
+  if (parallel) {
+    ThreadPool::global().parallel_for(d, bin_one);
+  } else {
+    for (std::size_t f = 0; f < d; ++f) bin_one(f);
+  }
+}
 
-    // Quantile cut points; duplicates collapse so constant features end up
-    // with a single bin.
-    auto& cuts = cuts_[f];
-    for (std::size_t b = 1; b < max_bins; ++b) {
-      const std::size_t idx = b * (n - 1) / max_bins;
-      const double cut = column[idx];
-      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
-    }
-    // Drop a trailing cut equal to the maximum (it would create an empty
-    // top bin).
-    while (!cuts.empty() && cuts.back() >= column.back()) cuts.pop_back();
+void BinnedDataset::fit(const linalg::Matrix& x, std::size_t max_bins, bool parallel) {
+  AQUA_REQUIRE(x.rows() > 0, "cannot bin an empty matrix");
+  AQUA_REQUIRE(max_bins >= 2 && max_bins <= kMaxBins, "max_bins out of range");
+  const std::size_t n = x.rows(), d = x.cols();
+  rows_ = n;
+  max_bins_ = max_bins;
+  cuts_.assign(d, {});
+  codes_.assign(n * d, 0);
 
-    for (std::size_t r = 0; r < n; ++r) {
-      const double v = x(r, f);
-      const auto it = std::lower_bound(cuts.begin(), cuts.end(), v);
-      // v <= cuts[k] -> bin k; v > all cuts -> last bin.
-      codes_[r * d + f] = static_cast<std::uint8_t>(it - cuts.begin());
-    }
+  auto bin_one = [&](std::size_t f) {
+    std::uint8_t* col = codes_.data() + f * n;
+    std::vector<double> column;
+    cuts_[f] = detail::bin_feature(x, f, max_bins, column,
+                                   [&](std::size_t r, std::uint8_t c) { col[r] = c; });
+  };
+  if (parallel) {
+    ThreadPool::global().parallel_for(d, bin_one);
+  } else {
+    for (std::size_t f = 0; f < d; ++f) bin_one(f);
   }
 }
 

@@ -20,6 +20,8 @@ class BinaryReader;
 
 namespace aqua::ml {
 
+class BinnedDataset;
+
 /// Reusable per-worker scratch for batched prediction. Holding the
 /// buffers outside the classifiers keeps every const prediction path
 /// allocation-free after warm-up and trivially reentrant: concurrent
@@ -94,6 +96,31 @@ class BinaryClassifier {
   /// equal to predict_proba(x) when accepts_input_map(owner) holds.
   virtual double predict_proba_mapped(std::span<const double> mapped) const {
     return predict_proba(mapped);
+  }
+
+  // --- Shared-store fit protocol (batched training) -------------------
+  //
+  // The training-side twin of the input-map protocol above. Tree
+  // ensembles spend their fit start-up quantile-binning the feature
+  // matrix, and MultiLabelModel fits hundreds of labels on the *same*
+  // matrix — so the binned store can be computed once and shared
+  // read-only across every label (BinnedDataset is immutable after fit
+  // and safe for concurrent readers). A classifier opts in by reporting
+  // a nonzero fit_store_bins(); when every label's classifier agrees on
+  // the same bin budget, MultiLabelModel builds one store and calls
+  // fit_with_store(), which must be bit-identical to fit() on the same
+  // matrix. Non-tree classifiers keep the defaults and train unchanged.
+
+  /// Bin budget of the BinnedDataset this classifier trains through, or
+  /// 0 when it does not consume a binned store.
+  virtual std::size_t fit_store_bins() const { return 0; }
+
+  /// fit() through a shared store previously fitted on exactly `x` with
+  /// fit_store_bins() bins. Bit-identical to fit(x, y). The default
+  /// ignores the store and trains normally.
+  virtual void fit_with_store(const Matrix& x, const Labels& y, const BinnedDataset& store) {
+    (void)store;
+    fit(x, y);
   }
 
   /// A fresh, untrained classifier with the same hyper-parameters (used to

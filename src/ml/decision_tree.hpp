@@ -19,6 +19,15 @@ class BinaryReader;
 
 namespace aqua::ml {
 
+// 64-byte-aligned allocator for histogram buffers (defined in the .cpp):
+// cells are SIMD lanes, and a 64-aligned base keeps every cell inside one
+// cache line.
+template <typename T>
+struct HistAllocator;
+using HistVec = std::vector<double, HistAllocator<double>>;
+// A node's histogram buffers (double cells + uint32 count plane).
+struct TreeHist;
+
 struct TreeConfig {
   std::size_t max_depth = 10;
   std::size_t min_samples_split = 4;
@@ -43,16 +52,41 @@ class RegressionTree {
            std::span<const double> weights = {}, std::span<const std::size_t> sample_indices = {},
            std::span<const double> hessians = {});
 
-  /// Histogram-based fit over pre-binned features (the fast path used by
-  /// the ensembles): split search scans at most 64 quantile bins per
-  /// feature instead of sorting samples. Produces the same tree structure
-  /// semantics as fit(); predict() still takes raw feature vectors.
+  /// Histogram-based fit over a row-major FeatureBinning. This is the
+  /// reference histogram kernel (kept for tree-level tests and as the
+  /// pre-store comparison baseline); the ensembles train through the
+  /// BinnedDataset overload below.
   void fit_binned(const FeatureBinning& binning, std::span<const double> targets,
                   std::span<const double> weights = {},
                   std::span<const std::size_t> sample_indices = {},
                   std::span<const double> hessians = {});
 
+  /// Column-block histogram fit over a shared BinnedDataset — the fast
+  /// kernel all ensembles use. Per node it streams each candidate
+  /// feature's contiguous code column into a bin histogram (per-row
+  /// (w, w*y, w*y*y) stats are precomputed once and kept in partition
+  /// order), derives the larger child's histograms from the parent's by
+  /// subtraction when every feature is a candidate, and fans the
+  /// per-feature build+scan over the global ThreadPool with a fixed
+  /// reduction order, so the result is bit-identical however many
+  /// threads run.
+  ///
+  /// `leaf_of_row`, when non-null, is resized to the store's row count
+  /// and filled with the leaf node index of every row — including rows
+  /// outside `sample_indices`, which are routed through the fitted
+  /// splits on their bin codes. leaf_value(leaf_of_row[i]) equals
+  /// predict(row i) exactly, letting gradient boosting update per-round
+  /// scores without re-traversing the tree per row.
+  void fit_binned(const BinnedDataset& store, std::span<const double> targets,
+                  std::span<const double> weights = {},
+                  std::span<const std::size_t> sample_indices = {},
+                  std::span<const double> hessians = {},
+                  std::vector<std::int32_t>* leaf_of_row = nullptr);
+
   double predict(std::span<const double> x) const;
+
+  /// Output value of a leaf node (pairs with fit_binned's leaf_of_row).
+  double leaf_value(std::size_t node) const { return nodes_[node].value; }
 
   bool fitted() const noexcept { return !nodes_.empty(); }
   std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -77,6 +111,13 @@ class RegressionTree {
   struct BinnedContext;
   int build_binned(BinnedContext& ctx, std::vector<std::size_t>& indices, std::size_t begin,
                    std::size_t end, std::size_t depth, Rng& rng);
+
+  struct StoreContext;
+  struct NodeTotals;
+  // `hist` is this node's histogram buffer (empty = build it here); the
+  // buffer's ownership moves down the recursion and back into the pool.
+  int build_store(StoreContext& ctx, std::size_t begin, std::size_t end, std::size_t depth,
+                  const NodeTotals& totals, TreeHist hist, Rng& rng);
 
   TreeConfig config_;
   std::vector<Node> nodes_;

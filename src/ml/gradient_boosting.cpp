@@ -14,9 +14,24 @@ GradientBoostingClassifier::GradientBoostingClassifier(GradientBoostingConfig co
   AQUA_REQUIRE(config_.num_rounds >= 1, "boosting needs at least one round");
   AQUA_REQUIRE(config_.learning_rate > 0.0, "learning rate must be positive");
   AQUA_REQUIRE(config_.subsample > 0.0 && config_.subsample <= 1.0, "subsample must be in (0,1]");
+  AQUA_REQUIRE(config_.max_bins >= 2 && config_.max_bins <= BinnedDataset::kMaxBins,
+               "max_bins out of range");
 }
 
 void GradientBoostingClassifier::fit(const Matrix& x, const Labels& y) {
+  fit_impl(x, y, nullptr);
+}
+
+void GradientBoostingClassifier::fit_with_store(const Matrix& x, const Labels& y,
+                                                const BinnedDataset& store) {
+  AQUA_REQUIRE(store.fitted() && store.num_samples() == x.rows() &&
+                   store.num_features() == x.cols() && store.max_bins() == config_.max_bins,
+               "shared store does not match the training matrix");
+  fit_impl(x, y, config_.exact_splits ? nullptr : &store);
+}
+
+void GradientBoostingClassifier::fit_impl(const Matrix& x, const Labels& y,
+                                          const BinnedDataset* store) {
   AQUA_REQUIRE(x.rows() == y.size(), "feature/label row mismatch");
   AQUA_REQUIRE(x.rows() > 0, "empty training set");
 
@@ -44,12 +59,18 @@ void GradientBoostingClassifier::fit(const Matrix& x, const Labels& y) {
   trees_.clear();
   trees_.reserve(config_.num_rounds);
 
-  FeatureBinning binning;
-  binning.fit(x);
+  // Bin once per fit — or not at all when a shared store (already fitted
+  // on exactly this matrix) is handed down by MultiLabelModel.
+  BinnedDataset local_store;
+  if (!config_.exact_splits && store == nullptr) {
+    local_store.fit(x, config_.max_bins);
+    store = &local_store;
+  }
 
   const auto subsample_count = std::max<std::size_t>(
       1, static_cast<std::size_t>(config_.subsample * static_cast<double>(n)));
 
+  std::vector<std::int32_t> leaf_of_row;
   for (std::size_t round = 0; round < config_.num_rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
       const double p = sigmoid(score[i]);
@@ -66,9 +87,20 @@ void GradientBoostingClassifier::fit(const Matrix& x, const Labels& y) {
     tree_config.min_samples_split = 2 * config_.min_samples_leaf;
     tree_config.seed = rng();
     RegressionTree tree(tree_config);
-    tree.fit_binned(binning, residual, weights, rows, hessian);
-    for (std::size_t i = 0; i < n; ++i) {
-      score[i] += config_.learning_rate * tree.predict(x.row(i));
+    if (config_.exact_splits) {
+      tree.fit(x, residual, weights, rows, hessian);
+      for (std::size_t i = 0; i < n; ++i) {
+        score[i] += config_.learning_rate * tree.predict(x.row(i));
+      }
+    } else {
+      // The kernel reports every row's leaf, so the round's score update
+      // is a leaf-value lookup instead of n full tree traversals
+      // (leaf_value(leaf_of_row[i]) == predict(row i) bitwise).
+      tree.fit_binned(*store, residual, weights, rows, hessian, &leaf_of_row);
+      for (std::size_t i = 0; i < n; ++i) {
+        score[i] += config_.learning_rate *
+                    tree.leaf_value(static_cast<std::size_t>(leaf_of_row[i]));
+      }
     }
     trees_.push_back(std::move(tree));
   }
@@ -93,6 +125,8 @@ void GradientBoostingClassifier::save_state(io::BinaryWriter& writer) const {
   writer.write_u64(config_.min_samples_leaf);
   writer.write_f64(config_.subsample);
   writer.write_u64(config_.seed);
+  writer.write_u64(config_.max_bins);
+  writer.write_bool(config_.exact_splits);
   writer.write_f64(base_score_);
   writer.write_bool(constant_);
   writer.write_f64(constant_probability_);
@@ -107,6 +141,8 @@ void GradientBoostingClassifier::load_state(io::BinaryReader& reader) {
   config_.min_samples_leaf = reader.read_u64();
   config_.subsample = reader.read_f64();
   config_.seed = reader.read_u64();
+  config_.max_bins = reader.read_u64();
+  config_.exact_splits = reader.read_bool();
   base_score_ = reader.read_f64();
   constant_ = reader.read_bool();
   constant_probability_ = reader.read_f64();

@@ -11,6 +11,15 @@ HybridRslClassifier::HybridRslClassifier(HybridRslConfig config)
     : config_(config), forest_(config.forest), svm_(config.svm), meta_(config.meta) {}
 
 void HybridRslClassifier::fit(const Matrix& x, const Labels& y) {
+  fit_impl(x, y, nullptr);
+}
+
+void HybridRslClassifier::fit_with_store(const Matrix& x, const Labels& y,
+                                         const BinnedDataset& store) {
+  fit_impl(x, y, &store);
+}
+
+void HybridRslClassifier::fit_impl(const Matrix& x, const Labels& y, const BinnedDataset* store) {
   AQUA_REQUIRE(x.rows() == y.size(), "feature/label row mismatch");
 
   const double pos_rate = positive_rate(y);
@@ -21,7 +30,11 @@ void HybridRslClassifier::fit(const Matrix& x, const Labels& y) {
   }
   constant_ = false;
 
-  forest_.fit(x, y);
+  if (store != nullptr) {
+    forest_.fit_with_store(x, y, *store);
+  } else {
+    forest_.fit(x, y);
+  }
   svm_.fit(x, y);
 
   // Stack the base learners' probabilities as the meta feature set.
@@ -82,6 +95,8 @@ void HybridRslClassifier::save_state(io::BinaryWriter& writer) const {
   writer.write_u64(config_.forest.max_features);
   writer.write_f64(config_.forest.max_features_fraction);
   writer.write_u64(config_.forest.seed);
+  writer.write_u64(config_.forest.max_bins);
+  writer.write_bool(config_.forest.exact_splits);
   write_sgd_config(writer, config_.svm.sgd);
   writer.write_u64(config_.svm.rff_dimension);
   writer.write_f64(config_.svm.rff_gamma);
@@ -107,6 +122,8 @@ void HybridRslClassifier::load_state(io::BinaryReader& reader) {
   config_.forest.max_features = reader.read_u64();
   config_.forest.max_features_fraction = reader.read_f64();
   config_.forest.seed = reader.read_u64();
+  config_.forest.max_bins = reader.read_u64();
+  config_.forest.exact_splits = reader.read_bool();
   config_.svm.sgd = read_sgd_config(reader);
   config_.svm.rff_dimension = reader.read_u64();
   config_.svm.rff_gamma = reader.read_f64();

@@ -33,6 +33,10 @@ class HybridRslClassifier final : public BinaryClassifier {
   bool accepts_input_map(const BinaryClassifier& owner) const override;
   void map_input(std::span<const double> x, PredictWorkspace& ws) const override;
   double predict_proba_mapped(std::span<const double> mapped) const override;
+  /// Shared-store fit protocol: the store feeds the forest branch (the
+  /// SVM and meta stages are not tree-based and train unchanged).
+  std::size_t fit_store_bins() const override { return forest_.fit_store_bins(); }
+  void fit_with_store(const Matrix& x, const Labels& y, const BinnedDataset& store) override;
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "HybridRSL"; }
   void save_state(io::BinaryWriter& writer) const override;
@@ -42,6 +46,8 @@ class HybridRslClassifier final : public BinaryClassifier {
   const SvmClassifier& svm() const noexcept { return svm_; }
 
  private:
+  void fit_impl(const Matrix& x, const Labels& y, const BinnedDataset* store);
+
   HybridRslConfig config_;
   RandomForestClassifier forest_;
   SvmClassifier svm_;

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "ml/binning.hpp"
 #include "ml/model_io.hpp"
 
 namespace aqua::ml {
@@ -10,7 +11,7 @@ MultiLabelModel::MultiLabelModel(ClassifierFactory factory) : factory_(std::move
   AQUA_REQUIRE(static_cast<bool>(factory_), "classifier factory must be callable");
 }
 
-void MultiLabelModel::fit(const MultiLabelDataset& data, bool parallel) {
+void MultiLabelModel::fit(const MultiLabelDataset& data, bool parallel, bool shared_store) {
   AQUA_REQUIRE(static_cast<bool>(factory_), "fit() requires a classifier factory");
   data.check();
   AQUA_REQUIRE(data.num_samples() > 0, "empty training set");
@@ -21,9 +22,24 @@ void MultiLabelModel::fit(const MultiLabelDataset& data, bool parallel) {
   classifiers_.resize(labels);
   for (auto& c : classifiers_) c = factory_();
 
+  // Shared-store fit protocol: bin the feature matrix once when every
+  // label's classifier agrees on one nonzero bin budget. The store is
+  // immutable after fit, so concurrent per-label fits read it freely.
+  BinnedDataset store;
+  if (shared_store) {
+    const std::size_t bins = classifiers_.front()->fit_store_bins();
+    bool all_agree = bins > 0;
+    for (const auto& c : classifiers_) all_agree = all_agree && c->fit_store_bins() == bins;
+    if (all_agree) store.fit(data.features, bins);
+  }
+
   auto train_one = [&](std::size_t v) {
     const Labels column = data.label_column(v);
-    classifiers_[v]->fit(data.features, column);
+    if (store.fitted()) {
+      classifiers_[v]->fit_with_store(data.features, column, store);
+    } else {
+      classifiers_[v]->fit(data.features, column);
+    }
   };
   if (parallel) {
     ThreadPool::global().parallel_for(labels, train_one);

@@ -23,7 +23,14 @@ class MultiLabelModel {
   explicit MultiLabelModel(ClassifierFactory factory);
 
   /// Algorithm 1: for v in V do f_v.fit(T, X, Y_v).
-  void fit(const MultiLabelDataset& data, bool parallel = true);
+  ///
+  /// All labels train on the same feature matrix, so when every label's
+  /// classifier consumes a binned store with one agreed bin budget
+  /// (fit_store_bins(), see BinaryClassifier's shared-store protocol)
+  /// and `shared_store` is true, the quantile binning is computed once
+  /// here and shared read-only across labels instead of once per label —
+  /// bit-identical to the per-label path by the protocol's contract.
+  void fit(const MultiLabelDataset& data, bool parallel = true, bool shared_store = true);
 
   std::size_t num_labels() const noexcept { return classifiers_.size(); }
   bool fitted() const noexcept { return !classifiers_.empty(); }

@@ -10,9 +10,24 @@ namespace aqua::ml {
 
 RandomForestClassifier::RandomForestClassifier(RandomForestConfig config) : config_(config) {
   AQUA_REQUIRE(config_.num_trees >= 1, "forest needs at least one tree");
+  AQUA_REQUIRE(config_.max_bins >= 2 && config_.max_bins <= BinnedDataset::kMaxBins,
+               "max_bins out of range");
 }
 
 void RandomForestClassifier::fit(const Matrix& x, const Labels& y) {
+  fit_impl(x, y, nullptr);
+}
+
+void RandomForestClassifier::fit_with_store(const Matrix& x, const Labels& y,
+                                            const BinnedDataset& store) {
+  AQUA_REQUIRE(store.fitted() && store.num_samples() == x.rows() &&
+                   store.num_features() == x.cols() && store.max_bins() == config_.max_bins,
+               "shared store does not match the training matrix");
+  fit_impl(x, y, config_.exact_splits ? nullptr : &store);
+}
+
+void RandomForestClassifier::fit_impl(const Matrix& x, const Labels& y,
+                                      const BinnedDataset* store) {
   AQUA_REQUIRE(x.rows() == y.size(), "feature/label row mismatch");
   AQUA_REQUIRE(x.rows() > 0, "empty training set");
 
@@ -47,10 +62,14 @@ void RandomForestClassifier::fit(const Matrix& x, const Labels& y) {
     mtry = std::min({mtry, x.cols(), std::size_t{64}});
   }
 
-  // Quantile-bin the features once; every tree reuses the encoding
-  // (histogram split search, see ml/binning.hpp).
-  FeatureBinning binning;
-  binning.fit(x);
+  // Quantile-bin the features once; every bootstrap tree reuses the
+  // shared column-block encoding — or the caller's store when one was
+  // already fitted on exactly this matrix.
+  BinnedDataset local_store;
+  if (!config_.exact_splits && store == nullptr) {
+    local_store.fit(x, config_.max_bins);
+    store = &local_store;
+  }
 
   trees_.clear();
   trees_.reserve(config_.num_trees);
@@ -68,7 +87,11 @@ void RandomForestClassifier::fit(const Matrix& x, const Labels& y) {
     tree_config.max_features = mtry;
     tree_config.seed = rng();
     RegressionTree tree(tree_config);
-    tree.fit_binned(binning, targets, weights, bootstrap);
+    if (config_.exact_splits) {
+      tree.fit(x, targets, weights, bootstrap);
+    } else {
+      tree.fit_binned(*store, targets, weights, bootstrap);
+    }
     trees_.push_back(std::move(tree));
   }
 }
@@ -92,6 +115,8 @@ void RandomForestClassifier::save_state(io::BinaryWriter& writer) const {
   writer.write_u64(config_.max_features);
   writer.write_f64(config_.max_features_fraction);
   writer.write_u64(config_.seed);
+  writer.write_u64(config_.max_bins);
+  writer.write_bool(config_.exact_splits);
   writer.write_bool(constant_);
   writer.write_f64(constant_probability_);
   writer.write_u64(trees_.size());
@@ -105,6 +130,8 @@ void RandomForestClassifier::load_state(io::BinaryReader& reader) {
   config_.max_features = reader.read_u64();
   config_.max_features_fraction = reader.read_f64();
   config_.seed = reader.read_u64();
+  config_.max_bins = reader.read_u64();
+  config_.exact_splits = reader.read_bool();
   constant_ = reader.read_bool();
   constant_probability_ = reader.read_f64();
   const std::uint64_t count = reader.read_u64();

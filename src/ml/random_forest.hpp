@@ -22,6 +22,11 @@ struct RandomForestConfig {
   /// sqrt(d).
   double max_features_fraction = 0.25;
   std::uint64_t seed = 29;
+  /// Quantile-bin budget of the histogram split search (2..255).
+  std::size_t max_bins = 64;
+  /// Train with exact sorted-feature CART splits instead of histograms —
+  /// the slow validation oracle the binned path is tested against.
+  bool exact_splits = false;
 };
 
 class RandomForestClassifier final : public BinaryClassifier {
@@ -35,9 +40,16 @@ class RandomForestClassifier final : public BinaryClassifier {
   void save_state(io::BinaryWriter& writer) const override;
   void load_state(io::BinaryReader& reader) override;
 
+  std::size_t fit_store_bins() const override {
+    return config_.exact_splits ? 0 : config_.max_bins;
+  }
+  void fit_with_store(const Matrix& x, const Labels& y, const BinnedDataset& store) override;
+
   std::size_t num_trees() const noexcept { return trees_.size(); }
 
  private:
+  void fit_impl(const Matrix& x, const Labels& y, const BinnedDataset* store);
+
   RandomForestConfig config_;
   std::vector<RegressionTree> trees_;
   bool constant_ = false;

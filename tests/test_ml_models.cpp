@@ -280,6 +280,133 @@ TEST(MultiLabel, BatchMatchesSingle) {
   }
 }
 
+/// Multi-label leak-style dataset: `labels` sparse cuts of a few features.
+MultiLabelDataset tree_multilabel_data(std::size_t n, std::size_t labels, Rng& rng) {
+  MultiLabelDataset data;
+  data.features = Matrix(n, 6);
+  data.labels.assign(n, Labels(labels, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 6; ++c) data.features(i, c) = rng.normal(0.0, 1.0);
+    for (std::size_t v = 0; v < labels; ++v) {
+      data.labels[i][v] = data.features(i, v % 6) > 1.0 ? 1 : 0;
+    }
+  }
+  return data;
+}
+
+/// Exact-splits oracle: histogram training must track the exact-CART
+/// classifier closely at the ensemble level (quantile bins only coarsen
+/// thresholds; both see the same signal).
+TEST(GradientBoosting, BinnedAgreesWithExactSplits) {
+  Rng rng(61);
+  const auto [x, y] = blobs(400, rng);
+  GradientBoostingConfig config;
+  GradientBoostingClassifier binned(config);
+  config.exact_splits = true;
+  GradientBoostingClassifier exact(config);
+  binned.fit(x, y);
+  exact.fit(x, y);
+  Rng test_rng(62);
+  const auto [tx, ty] = blobs(200, test_rng);
+  (void)ty;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < tx.rows(); ++i) {
+    agree += binned.predict(tx.row(i)) == exact.predict(tx.row(i));
+    EXPECT_NEAR(binned.predict_proba(tx.row(i)), exact.predict_proba(tx.row(i)), 0.15);
+  }
+  EXPECT_GE(agree, (tx.rows() * 95) / 100);
+}
+
+TEST(RandomForest, BinnedAgreesWithExactSplits) {
+  Rng rng(63);
+  const auto [x, y] = blobs(400, rng);
+  RandomForestConfig config;
+  RandomForestClassifier binned(config);
+  config.exact_splits = true;
+  RandomForestClassifier exact(config);
+  binned.fit(x, y);
+  exact.fit(x, y);
+  Rng test_rng(64);
+  const auto [tx, ty] = blobs(200, test_rng);
+  (void)ty;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < tx.rows(); ++i) {
+    agree += binned.predict(tx.row(i)) == exact.predict(tx.row(i));
+    // Deep trees on sampled features wander more near the boundary than
+    // GB's shallow ensemble; the hard decisions are the real contract.
+    EXPECT_NEAR(binned.predict_proba(tx.row(i)), exact.predict_proba(tx.row(i)), 0.3);
+  }
+  EXPECT_GE(agree, (tx.rows() * 95) / 100);
+}
+
+/// Shared-store protocol contract: fit_with_store must be bit-identical
+/// to fit on the same matrix, for every store consumer.
+TEST(SharedStoreFit, BitIdenticalToPlainFit) {
+  Rng rng(65);
+  const auto [x, y] = blobs(300, rng);
+  struct Case {
+    std::string name;
+    std::unique_ptr<BinaryClassifier> plain, stored;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"GB", std::make_unique<GradientBoostingClassifier>(),
+                   std::make_unique<GradientBoostingClassifier>()});
+  cases.push_back({"RF", std::make_unique<RandomForestClassifier>(),
+                   std::make_unique<RandomForestClassifier>()});
+  cases.push_back({"HybridRSL", std::make_unique<HybridRslClassifier>(),
+                   std::make_unique<HybridRslClassifier>()});
+  for (auto& c : cases) {
+    ASSERT_GT(c.plain->fit_store_bins(), 0u) << c.name;
+    BinnedDataset store;
+    store.fit(x, c.plain->fit_store_bins());
+    c.plain->fit(x, y);
+    c.stored->fit_with_store(x, y, store);
+    Rng test_rng(66);
+    const auto [tx, ty] = blobs(150, test_rng);
+    (void)ty;
+    for (std::size_t i = 0; i < tx.rows(); ++i) {
+      EXPECT_EQ(c.stored->predict_proba(tx.row(i)), c.plain->predict_proba(tx.row(i))) << c.name;
+    }
+  }
+}
+
+TEST(SharedStoreFit, MismatchedStoreIsRejected) {
+  Rng rng(67);
+  const auto [x, y] = blobs(100, rng);
+  BinnedDataset store;
+  store.fit(x, 32);  // budget disagrees with the classifier's max_bins
+  GradientBoostingClassifier gb;
+  EXPECT_THROW(gb.fit_with_store(x, y, store), InvalidArgument);
+}
+
+TEST(MultiLabel, ParallelFitBitIdenticalToSerial) {
+  Rng rng(68);
+  const auto data = tree_multilabel_data(250, 4, rng);
+  MultiLabelModel serial([] { return std::make_unique<GradientBoostingClassifier>(); });
+  MultiLabelModel parallel([] { return std::make_unique<GradientBoostingClassifier>(); });
+  serial.fit(data, /*parallel=*/false);
+  parallel.fit(data, /*parallel=*/true);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto a = serial.predict_proba(data.features.row(i));
+    const auto b = parallel.predict_proba(data.features.row(i));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(MultiLabel, SharedStoreBitIdenticalToPerLabelBinning) {
+  Rng rng(69);
+  const auto data = tree_multilabel_data(250, 4, rng);
+  MultiLabelModel shared([] { return std::make_unique<RandomForestClassifier>(); });
+  MultiLabelModel per_label([] { return std::make_unique<RandomForestClassifier>(); });
+  shared.fit(data, /*parallel=*/true, /*shared_store=*/true);
+  per_label.fit(data, /*parallel=*/true, /*shared_store=*/false);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto a = shared.predict_proba(data.features.row(i));
+    const auto b = per_label.predict_proba(data.features.row(i));
+    EXPECT_EQ(a, b);
+  }
+}
+
 TEST(MultiLabel, RequiresFactoryAndData) {
   MultiLabelModel unset;
   MultiLabelDataset data;

@@ -171,7 +171,159 @@ TEST(FeatureBinning, Validation) {
   EXPECT_THROW(binning.fit(empty), InvalidArgument);
   linalg::Matrix x(5, 1, 1.0);
   EXPECT_THROW(binning.fit(x, 1), InvalidArgument);
-  EXPECT_THROW(binning.fit(x, 100), InvalidArgument);
+  EXPECT_THROW(binning.fit(x, 256), InvalidArgument);  // uint8 codes cap at 255 bins
+}
+
+TEST(BinnedDataset, MatchesFeatureBinningCodesAndCuts) {
+  Rng rng(41);
+  const auto [x, y] = step_data(300, rng);
+  (void)y;
+  FeatureBinning reference;
+  reference.fit(x);
+  BinnedDataset store;
+  store.fit(x);
+  ASSERT_EQ(store.num_samples(), reference.num_samples());
+  ASSERT_EQ(store.num_features(), reference.num_features());
+  for (std::size_t f = 0; f < store.num_features(); ++f) {
+    ASSERT_EQ(store.bins(f), reference.bins(f));
+    for (std::size_t b = 0; b + 1 < store.bins(f); ++b) {
+      EXPECT_EQ(store.upper_boundary(f, b), reference.upper_boundary(f, b));
+    }
+    const auto column = store.column(f);
+    for (std::size_t r = 0; r < store.num_samples(); ++r) {
+      EXPECT_EQ(column[r], reference.code(r, f));
+      EXPECT_EQ(store.code(r, f), reference.code(r, f));
+    }
+  }
+}
+
+TEST(BinnedDataset, ParallelEqualsSerialFit) {
+  Rng rng(42);
+  const auto [x, y] = step_data(400, rng);
+  (void)y;
+  BinnedDataset serial, parallel;
+  serial.fit(x, BinnedDataset::kDefaultBins, /*parallel=*/false);
+  parallel.fit(x, BinnedDataset::kDefaultBins, /*parallel=*/true);
+  ASSERT_EQ(serial.num_features(), parallel.num_features());
+  for (std::size_t f = 0; f < serial.num_features(); ++f) {
+    ASSERT_EQ(serial.bins(f), parallel.bins(f));
+    EXPECT_EQ(serial.cuts(f), parallel.cuts(f));
+    const auto a = serial.column(f);
+    const auto b = parallel.column(f);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(BinnedDataset, SupportsFullUint8BinRange) {
+  // 255 bins on a column with 1000 distinct values: codes use the full
+  // uint8 range and decode back to monotone bin membership.
+  linalg::Matrix x(1000, 1);
+  Rng rng(43);
+  for (std::size_t r = 0; r < 1000; ++r) x(r, 0) = static_cast<double>(r) + rng.uniform();
+  BinnedDataset store;
+  store.fit(x, BinnedDataset::kMaxBins);
+  EXPECT_GT(store.bins(0), 200u);
+  EXPECT_LE(store.bins(0), 255u);
+  for (std::size_t r = 0; r + 1 < 1000; ++r) {
+    EXPECT_LE(store.code(r, 0), store.code(r + 1, 0));  // sorted input -> monotone codes
+  }
+}
+
+TEST(RegressionTree, StoreKernelLearnsStepFunction) {
+  Rng rng(45);
+  const auto [x, y] = step_data(500, rng);
+  BinnedDataset store;
+  store.fit(x);
+  RegressionTree tree;
+  tree.fit_binned(store, y);
+  Rng test_rng(46);
+  const auto [tx, ty] = step_data(200, test_rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    correct += ((tree.predict(tx.row(i)) > 0.5) == (ty[i] > 0.5));
+  }
+  EXPECT_GT(correct, 190);
+}
+
+TEST(RegressionTree, StoreKernelMatchesReferenceBinnedKernel) {
+  // The column-block kernel and the row-major reference kernel search the
+  // same bin boundaries with the same tie-breaking, so on identical
+  // binnings they grow the same splits; leaf values may differ only by
+  // summation-order rounding (stable vs unstable partition).
+  Rng rng(47);
+  const auto [x, y] = step_data(400, rng);
+  std::vector<double> weights(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) weights[i] = 0.5 + rng.uniform();
+  FeatureBinning binning;
+  binning.fit(x);
+  BinnedDataset store;
+  store.fit(x);
+  RegressionTree reference, fast;
+  reference.fit_binned(binning, y, weights);
+  fast.fit_binned(store, y, weights);
+  Rng test_rng(48);
+  const auto [tx, ty] = step_data(200, test_rng);
+  (void)ty;
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_NEAR(fast.predict(tx.row(i)), reference.predict(tx.row(i)), 1e-9);
+  }
+}
+
+TEST(RegressionTree, StoreLeafOfRowMatchesPredictBitwise) {
+  // With weights, hessians, and a strict row subsample: every row of the
+  // store — sampled or not — must land on the leaf whose value equals
+  // predict() exactly.
+  Rng rng(49);
+  const auto [x, y] = step_data(400, rng);
+  std::vector<double> weights(x.rows()), hessians(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    weights[i] = 0.5 + rng.uniform();
+    hessians[i] = 0.1 + rng.uniform();
+  }
+  const auto rows = rng.sample_without_replacement(x.rows(), x.rows() / 2);
+  BinnedDataset store;
+  store.fit(x);
+  RegressionTree tree;
+  std::vector<std::int32_t> leaf_of_row;
+  tree.fit_binned(store, y, weights, rows, hessians, &leaf_of_row);
+  ASSERT_EQ(leaf_of_row.size(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    ASSERT_GE(leaf_of_row[i], 0);
+    EXPECT_EQ(tree.leaf_value(static_cast<std::size_t>(leaf_of_row[i])), tree.predict(x.row(i)));
+  }
+}
+
+TEST(RegressionTree, StoreKernelWithFeatureSubsampling) {
+  // RF mode: max_features < d disables the subtraction trick; leaf
+  // reporting must still be exact.
+  Rng rng(51);
+  const auto [x, y] = step_data(400, rng);
+  BinnedDataset store;
+  store.fit(x);
+  TreeConfig config;
+  config.max_features = 1;
+  config.seed = 7;
+  RegressionTree tree(config);
+  std::vector<std::int32_t> leaf_of_row;
+  tree.fit_binned(store, y, {}, {}, {}, &leaf_of_row);
+  ASSERT_TRUE(tree.fitted());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_EQ(tree.leaf_value(static_cast<std::size_t>(leaf_of_row[i])), tree.predict(x.row(i)));
+  }
+}
+
+TEST(RegressionTree, StoreValidation) {
+  RegressionTree tree;
+  BinnedDataset store;
+  std::vector<double> y(5, 0.0);
+  EXPECT_THROW(tree.fit_binned(store, y), InvalidArgument);  // unfitted store
+  linalg::Matrix x(5, 2);
+  Rng rng(52);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 2; ++c) x(r, c) = rng.uniform();
+  store.fit(x);
+  std::vector<double> short_y(3, 0.0);
+  EXPECT_THROW(tree.fit_binned(store, short_y), InvalidArgument);  // row mismatch
 }
 
 }  // namespace

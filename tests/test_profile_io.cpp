@@ -107,6 +107,21 @@ TEST(ProfileIo, RoundTripAllKindsEpaNet) { round_trip_all_kinds(false); }
 
 TEST(ProfileIo, RoundTripAllKindsWsscSubnet) { round_trip_all_kinds(true); }
 
+TEST(ProfileIo, StoreTrainedNonDefaultBinsRoundTrip) {
+  // A shared-store-trained ensemble with a non-default bin budget must
+  // survive the artifact round trip (max_bins is fitted state now) and
+  // stay refittable through the store path.
+  const auto s = make_setup(false);
+  ProfileTrainingConfig config;
+  config.kind = ModelKind::kGradientBoosting;
+  config.max_bins = 128;
+  const ProfileModel original = train_profile(*s->batch, s->scenarios, s->sensors, 0, config);
+  ProfileModel loaded = load_bytes(save_bytes(original));
+  expect_bit_identical(original, loaded, s->eval.features);
+  loaded.model.fit(s->eval);  // refit through the rebuilt factory
+  EXPECT_EQ(loaded.model.num_labels(), original.model.num_labels());
+}
+
 TEST(ProfileIo, SaveLoadSaveIsStable) {
   // Serialization is a pure function of model state: saving the loaded
   // model reproduces the original byte stream exactly.
