@@ -25,14 +25,18 @@ if [[ $# -gt 0 ]]; then
   benches=()
   for name in "$@"; do benches+=("./bench_${name}"); done
 else
-  # Skip the google-benchmark micro harness: it emits no BENCH json.
-  mapfile -t benches < <(find . -maxdepth 1 -name 'bench_*' -type f \
-    ! -name bench_micro_hydraulics | sort)
+  mapfile -t benches < <(find . -maxdepth 1 -name 'bench_*' -type f | sort)
 fi
 
 for bench in "${benches[@]}"; do
   echo "== ${bench#./} =="
-  "$bench"
+  if [[ "${bench#./}" == bench_micro_hydraulics ]]; then
+    # Skip the google-benchmark micro suite (no BENCH json) and run only
+    # the inner-solver comparison + backend node-count sweep.
+    "$bench" --benchmark_filter='^$'
+  else
+    "$bench"
+  fi
 done
 
 cd ../..

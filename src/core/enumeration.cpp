@@ -1,5 +1,6 @@
 #include "core/enumeration.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -92,6 +93,53 @@ EnumerationOutcome EnumerationLocalizer::localize(std::span<const double> observ
 
   const auto after_demands = demands_of(network_, after_period);
 
+  // Optional screening pass: one linearized probe predicts each label's
+  // sensor signature (the first-order response of every sensor to a unit
+  // leak outflow at that node), and only the top_k labels whose signatures
+  // best align with the observed deltas survive into the greedy rounds.
+  // The probe costs a single factorization plus one blocked multi-RHS
+  // solve for ALL labels — against O(labels) nonlinear solves per round.
+  std::vector<char> admitted(labels_.num_labels(), 1);
+  outcome.screened_labels = labels_.num_labels();
+  if (config_.screen_top_k > 0 && config_.screen_top_k < labels_.num_labels()) {
+    std::vector<hydraulics::NodeId> probes(labels_.num_labels());
+    for (std::size_t label = 0; label < labels_.num_labels(); ++label) {
+      probes[label] = labels_.node_of(label);
+    }
+    std::vector<double> head_response, flow_response;
+    healthy_solver.probe_outflow_response(before_state, probes, head_response, &flow_response);
+
+    const std::size_t n = network_.num_nodes();
+    const std::size_t m = network_.num_links();
+    double observed_norm = 0.0;
+    for (double d : observed_deltas) observed_norm += d * d;
+    observed_norm = std::sqrt(observed_norm);
+
+    std::vector<std::pair<double, std::size_t>> scored(labels_.num_labels());
+    for (std::size_t label = 0; label < labels_.num_labels(); ++label) {
+      const double* dh = head_response.data() + label * n;
+      const double* dq = flow_response.data() + label * m;
+      double dot = 0.0, sig_norm = 0.0;
+      for (std::size_t i = 0; i < sensors_.size(); ++i) {
+        const auto& sensor = sensors_.sensors[i];
+        // Pressure delta == head delta (elevation cancels).
+        const double sig = sensor.kind == sensing::SensorKind::kPressure ? dh[sensor.index]
+                                                                         : dq[sensor.index];
+        dot += sig * observed_deltas[i];
+        sig_norm += sig * sig;
+      }
+      sig_norm = std::sqrt(sig_norm);
+      const double denom = sig_norm * observed_norm;
+      scored[label] = {denom > 0.0 ? dot / denom : -2.0, label};
+    }
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(config_.screen_top_k),
+                      scored.end(), [](const auto& a, const auto& b) { return a.first > b.first; });
+    admitted.assign(labels_.num_labels(), 0);
+    for (std::size_t k = 0; k < config_.screen_top_k; ++k) admitted[scored[k].second] = 1;
+    outcome.screened_labels = config_.screen_top_k;
+  }
+
   // Trial hypotheses can push the network into hydraulically infeasible
   // regimes (several large emitters at once); those solves may not
   // converge and simply mean "this hypothesis does not explain the data",
@@ -140,7 +188,7 @@ EnumerationOutcome EnumerationLocalizer::localize(std::span<const double> observ
     std::vector<std::pair<std::size_t, double>> trials;  // (label, ec)
     trials.reserve(labels_.num_labels() * config_.candidate_ecs.size());
     for (std::size_t label = 0; label < labels_.num_labels(); ++label) {
-      if (outcome.predicted[label] != 0) continue;
+      if (outcome.predicted[label] != 0 || admitted[label] == 0) continue;
       for (double ec : config_.candidate_ecs) trials.emplace_back(label, ec);
     }
     if (trials.empty()) break;

@@ -25,12 +25,23 @@ struct EnumerationConfig {
   /// Stop when the best candidate improves the residual by less than this
   /// relative fraction.
   double min_relative_improvement = 0.05;
+  /// When positive, prune the candidate set before the greedy search: one
+  /// linearized probe (GgaSolver::probe_outflow_response — a single
+  /// factorization with one RHS per label) predicts each label's sensor
+  /// signature, and only the `screen_top_k` labels whose signatures best
+  /// match the observed deltas (cosine similarity) enter the per-round
+  /// hydraulic trials. Cuts full solves from O(labels) to O(top_k) per
+  /// round. 0 disables screening.
+  std::size_t screen_top_k = 0;
 };
 
 struct EnumerationOutcome {
   ml::Labels predicted;           // per-label leak mask
   double residual = 0.0;          // final ||simulated - observed||
   std::size_t hydraulic_solves = 0;
+  /// Labels admitted to the greedy search (== num_labels when screening
+  /// is off).
+  std::size_t screened_labels = 0;
   double seconds = 0.0;
 };
 

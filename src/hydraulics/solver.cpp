@@ -49,6 +49,25 @@ double HydraulicState::total_emitter_outflow() const noexcept {
   return sum;
 }
 
+namespace {
+
+/// Maps a resolved LinearSolver choice onto its linalg backend.
+linalg::LinearBackend backend_of(LinearSolver solver) {
+  switch (solver) {
+    case LinearSolver::kCholesky:
+      return linalg::LinearBackend::kLdlt;
+    case LinearSolver::kConjugateGradient:
+      return linalg::LinearBackend::kJacobiCg;
+    case LinearSolver::kIc0Cg:
+      return linalg::LinearBackend::kIc0Cg;
+    case LinearSolver::kAuto:
+      break;
+  }
+  throw InvalidArgument("linear solver choice was not resolved");
+}
+
+}  // namespace
+
 GgaSolver::GgaSolver(const Network& network, SolverOptions options)
     : network_(network), options_(options) {
   network_.validate();
@@ -64,19 +83,39 @@ GgaSolver::GgaSolver(const Network& network, SolverOptions options)
   workspace_.prev_solution.assign(rows, 0.0);
   workspace_.y.assign(m, 0.0);
   workspace_.p.assign(m, 0.0);
-  if (options_.linear_solver == LinearSolver::kCholesky) {
-    // Symbolic factorization (minimum-degree ordering + elimination tree
-    // + factor pattern) is computed once here; every Newton iteration
-    // only refactorizes numerically.
-    workspace_.factor.analyze(assembly_.pattern);
+
+  // kAuto: the direct factorization wins while its refactor cost (which
+  // grows with fill) stays small; past the crossover the O(nnz)-refactor
+  // IC(0)-CG backend takes over. Explicit choices pass through.
+  resolved_solver_ = options_.linear_solver;
+  if (resolved_solver_ == LinearSolver::kAuto) {
+    resolved_solver_ = rows >= options_.auto_crossover_nodes ? LinearSolver::kIc0Cg
+                                                             : LinearSolver::kCholesky;
   }
+  // Symbolic setup (LDLT: minimum-degree ordering + elimination tree;
+  // IC(0): lower-triangle pattern) happens once here; every Newton
+  // iteration only refactors values.
+  workspace_.system = linalg::make_linear_system(backend_of(resolved_solver_), options_.cg);
+  workspace_.system->analyze(assembly_.pattern);
 }
 
 GgaSolver::GgaSolver(const Network& network, const GgaSolver& prototype)
     : network_(network),
       options_(prototype.options_),
-      assembly_(prototype.assembly_),
-      workspace_(prototype.workspace_) {
+      resolved_solver_(prototype.resolved_solver_),
+      assembly_(prototype.assembly_) {
+  const Workspace& proto_ws = prototype.workspace_;
+  workspace_.matrix = proto_ws.matrix;
+  workspace_.rhs = proto_ws.rhs;
+  workspace_.solution = proto_ws.solution;
+  workspace_.prev_solution = proto_ws.prev_solution;
+  workspace_.y = proto_ws.y;
+  workspace_.p = proto_ws.p;
+  // The backend clone carries the prototype's symbolic analysis — the
+  // point of this constructor: a per-thread solver pool computes one
+  // ordering/pattern analysis per network.
+  workspace_.system = proto_ws.system->clone();
+
   const Network& proto_net = prototype.network_;
   AQUA_REQUIRE(network_.num_nodes() == proto_net.num_nodes() &&
                    network_.num_links() == proto_net.num_links(),
@@ -94,23 +133,15 @@ GgaSolver::GgaSolver(const Network& network, const GgaSolver& prototype)
 
 bool GgaSolver::solve_linear_system(std::string* why) const {
   Workspace& ws = workspace_;
-  if (options_.linear_solver == LinearSolver::kCholesky) {
-    try {
-      ws.factor.factorize(ws.matrix);
-      ws.factor.solve(ws.rhs, ws.solution);
-    } catch (const SolverError& error) {
-      if (why != nullptr) *why = error.what();
-      return false;
-    }
-    return true;
-  }
+  // Warm start from the previous Newton iterate; direct backends simply
+  // overwrite it.
   std::copy(ws.prev_solution.begin(), ws.prev_solution.end(), ws.solution.begin());
   try {
-    const auto stats = linalg::conjugate_gradient_into(ws.matrix, ws.rhs, ws.solution, ws.cg,
-                                                       options_.cg);
+    ws.system->refactor_values(ws.matrix);
+    const auto stats = ws.system->solve(ws.rhs, ws.solution);
     if (!stats.converged) {
       if (why != nullptr) {
-        *why = "CG did not converge (relative residual " +
+        *why = std::string(ws.system->name()) + " did not converge (relative residual " +
                std::to_string(stats.relative_residual) + ")";
       }
       return false;
@@ -120,6 +151,86 @@ bool GgaSolver::solve_linear_system(std::string* why) const {
     return false;
   }
   return true;
+}
+
+void GgaSolver::probe_outflow_response(const HydraulicState& state,
+                                       std::span<const NodeId> probes,
+                                       std::vector<double>& head_response,
+                                       std::vector<double>* flow_response) const {
+  const std::size_t n = network_.num_nodes();
+  const std::size_t m = network_.num_links();
+  AQUA_REQUIRE(state.head.size() == n && state.flow.size() == m,
+               "probe state does not match the network");
+
+  // Refill the node Jacobian at `state`. Deliberately a separate stamping
+  // loop from solve()'s: this one stamps only the gradient part (no RHS,
+  // no y intermediates), because the probe solves J dh = -e_probe rather
+  // than the GGA fixed-point system.
+  Workspace& ws = workspace_;
+  const std::size_t rows = assembly_.node_of_row.size();
+  ws.matrix.zero_values();
+  auto values = ws.matrix.values();
+  for (LinkId l = 0; l < m; ++l) {
+    const Link& link = network_.link(l);
+    const LossGradient lg = link_loss(link, state.flow[l], options_.headloss);
+    ws.p[l] = 1.0 / lg.gradient;
+    const auto& slots = assembly_.link_slots[l];
+    const std::size_t rf = assembly_.row_of_node[link.from];
+    const std::size_t rt = assembly_.row_of_node[link.to];
+    if (rf != kFixed) values[slots[0]] += ws.p[l];
+    if (rt != kFixed) values[slots[1]] += ws.p[l];
+    if (rf != kFixed && rt != kFixed) {
+      values[slots[2]] -= ws.p[l];
+      values[slots[3]] -= ws.p[l];
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const NodeId v = assembly_.node_of_row[r];
+    const Node& node = network_.node(v);
+    if (node.emitter_coefficient > 0.0) {
+      values[assembly_.diag_slot[r]] +=
+          emitter_flow(node.emitter_coefficient, node.emitter_exponent,
+                       state.head[v] - node.elevation)
+              .gradient;
+    }
+  }
+  ws.system->refactor_values(ws.matrix);
+
+  // One blocked solve: RHS k is -e_{row(probe k)} (an extra unit of
+  // outflow at the probe junction).
+  const std::size_t nrhs = probes.size();
+  std::vector<double> b(nrhs * rows, 0.0);
+  std::vector<double> x(nrhs * rows, 0.0);
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    AQUA_REQUIRE(probes[k] < n, "probe node out of range");
+    const std::size_t r = assembly_.row_of_node[probes[k]];
+    AQUA_REQUIRE(r != kFixed, "probe node must be a junction");
+    b[k * rows + r] = -1.0;
+  }
+  const auto stats = ws.system->solve_block(b, x, nrhs);
+  if (!stats.converged) {
+    throw SolverError(std::string("probe_outflow_response: ") + ws.system->name() +
+                      " did not converge (relative residual " +
+                      std::to_string(stats.relative_residual) + ")");
+  }
+
+  head_response.assign(nrhs * n, 0.0);
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      head_response[k * n + assembly_.node_of_row[r]] = x[k * rows + r];
+    }
+  }
+  if (flow_response != nullptr) {
+    flow_response->assign(nrhs * m, 0.0);
+    for (std::size_t k = 0; k < nrhs; ++k) {
+      const double* dh = head_response.data() + k * n;
+      double* dq = flow_response->data() + k * m;
+      for (LinkId l = 0; l < m; ++l) {
+        const Link& link = network_.link(l);
+        dq[l] = ws.p[l] * (dh[link.from] - dh[link.to]);
+      }
+    }
+  }
 }
 
 GgaSolver::Assembly GgaSolver::build_assembly() const {

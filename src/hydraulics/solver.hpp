@@ -12,25 +12,41 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "hydraulics/headloss.hpp"
 #include "hydraulics/network.hpp"
-#include "linalg/cholesky.hpp"
+#include "linalg/linear_system.hpp"
 #include "linalg/solvers.hpp"
 #include "linalg/sparse.hpp"
 
 namespace aqua::hydraulics {
 
-/// Inner linear solver for the per-iteration SPD node system.
+/// Inner linear solver for the per-iteration SPD node system. Each value
+/// maps onto a linalg::LinearSystem backend (linalg/linear_system.hpp).
 enum class LinearSolver {
   /// Sparse LDL^T with a minimum-degree ordering and a cached symbolic
-  /// factorization (EPANET 2's approach); the default.
+  /// factorization (EPANET 2's approach). Fastest at every size measured
+  /// so far (96 to 50k nodes) — near-planar water networks keep the
+  /// min-degree fill low enough that refactorization stays near-linear.
   kCholesky,
   /// Jacobi-preconditioned conjugate gradients, warm-started from the
-  /// previous Newton iterate.
+  /// previous Newton iterate. Matrix-free cross-check.
   kConjugateGradient,
+  /// IC(0)-preconditioned conjugate gradients: O(nnz) refactorization per
+  /// Newton iteration and warm-started inner iterations. An explicit
+  /// override for matrices where direct factor fill explodes (dense
+  /// non-planar interconnects) or memory-bound deployments; on the planar
+  /// generated cities the direct backend empirically wins at every
+  /// measured size (see SolverOptions::auto_crossover_nodes).
+  kIc0Cg,
+  /// Pick kCholesky or kIc0Cg from the junction count against
+  /// SolverOptions::auto_crossover_nodes; the default. Resolution happens
+  /// at solver construction (see GgaSolver::linear_backend()).
+  kAuto,
 };
 
 struct SolverOptions {
@@ -42,9 +58,20 @@ struct SolverOptions {
   bool throw_on_divergence = true;
   /// Print per-iteration convergence diagnostics to stderr.
   bool trace = false;
-  /// Inner linear solver; kCholesky unless experimenting.
-  LinearSolver linear_solver = LinearSolver::kCholesky;
-  /// Settings for the kConjugateGradient fallback.
+  /// Inner linear solver; kAuto crosses over on network size, any other
+  /// value is an explicit override.
+  LinearSolver linear_solver = LinearSolver::kAuto;
+  /// kAuto picks kIc0Cg at or above this many solved junction rows,
+  /// kCholesky below. The bench_micro_hydraulics node-count sweep on
+  /// generated city networks (BENCH_micro_hydraulics.json) measured NO
+  /// crossover up to 50k nodes: min-degree keeps the LDLT factor fill
+  /// near 1.3x on these planar grids (refactor ~4 ms at 50k) while the
+  /// Jacobian's ~1e5 conductance contrast pushes IC(0)-CG past 2k inner
+  /// iterations per Newton step. The default therefore sits beyond the
+  /// measured range so kAuto resolves to kCholesky everywhere practical;
+  /// lower it (or set linear_solver explicitly) to opt into kIc0Cg.
+  std::size_t auto_crossover_nodes = 200000;
+  /// Settings for the iterative backends (kConjugateGradient, kIc0Cg).
   linalg::CgOptions cg;
 };
 
@@ -99,6 +126,24 @@ class GgaSolver {
   const Network& network() const noexcept { return network_; }
   const SolverOptions& options() const noexcept { return options_; }
 
+  /// The concrete inner backend this solver runs on (kAuto resolved at
+  /// construction; never kAuto itself).
+  LinearSolver linear_backend() const noexcept { return resolved_solver_; }
+
+  /// First-order probe around a converged state: refills the node Jacobian
+  /// at `state` (link linearization + emitter gradients), refactors once,
+  /// and computes the head response to a unit outflow (+1 m^3/s extra
+  /// demand — the leak direction) at each probe node with one blocked
+  /// multi-RHS solve. `head_response` is resized to probes.size() x
+  /// num_nodes row-major (zero at fixed-head nodes); `flow_response`
+  /// (optional, pass nullptr to skip) to probes.size() x num_links via the
+  /// link linearization dq = p * (dh_from - dh_to). Every probe must be a
+  /// junction. Mutates the solver workspace like solve() does (same
+  /// thread-safety caveat).
+  void probe_outflow_response(const HydraulicState& state, std::span<const NodeId> probes,
+                              std::vector<double>& head_response,
+                              std::vector<double>* flow_response = nullptr) const;
+
  private:
   struct Assembly {
     std::vector<std::size_t> row_of_node;  // kFixed for fixed-head nodes
@@ -118,9 +163,11 @@ class GgaSolver {
     std::vector<double> rhs;
     std::vector<double> solution;
     std::vector<double> prev_solution;
-    std::vector<double> y, p;            // per-link GGA intermediates
-    linalg::SparseLdlt factor;           // symbolic analysis cached here
-    linalg::CgWorkspace cg;              // scratch for the CG fallback
+    std::vector<double> y, p;  // per-link GGA intermediates
+    // Backend with its cached symbolic analysis (LDLT elimination tree,
+    // IC(0) lower pattern, ...); cloned — not recomputed — by the
+    // prototype constructor.
+    std::unique_ptr<linalg::LinearSystem> system;
   };
 
   static constexpr std::size_t kFixed = static_cast<std::size_t>(-1);
@@ -134,6 +181,7 @@ class GgaSolver {
 
   const Network& network_;
   SolverOptions options_;
+  LinearSolver resolved_solver_ = LinearSolver::kCholesky;
   Assembly assembly_;
   mutable Workspace workspace_;
 };

@@ -140,4 +140,48 @@ std::vector<double> SparseLdlt::solve(std::span<const double> b) {
   return x;
 }
 
+void SparseLdlt::solve_block(std::span<const double> b, std::span<double> x, std::size_t nrhs) {
+  const std::size_t n = dimension();
+  AQUA_REQUIRE(factorized_, "solve_block before factorize");
+  AQUA_REQUIRE(b.size() == n * nrhs && x.size() == n * nrhs,
+               "solve_block: expected nrhs contiguous vectors of dimension() entries");
+  AQUA_REQUIRE(b.data() != x.data(), "solve_block: b and x must not alias");
+
+  if (block_work_.size() < n * kBlockWidth) block_work_.assign(n * kBlockWidth, 0.0);
+  for (std::size_t t0 = 0; t0 < nrhs; t0 += kBlockWidth) {
+    const std::size_t w = std::min(kBlockWidth, nrhs - t0);
+    double* work = block_work_.data();
+    // Gather the tile node-major (all RHS of one permuted row contiguous)
+    // so the triangular passes touch each factor column once per tile.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t src = perm_[k];
+      for (std::size_t t = 0; t < w; ++t) work[k * w + t] = b[(t0 + t) * n + src];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* xj = work + j * w;
+      for (std::size_t p = lp_[j]; p < lp_[j + 1]; ++p) {
+        double* row = work + li_[p] * w;
+        const double l = lx_[p];
+        for (std::size_t t = 0; t < w; ++t) row[t] -= l * xj[t];
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const double dk = d_[k];
+      for (std::size_t t = 0; t < w; ++t) work[k * w + t] /= dk;
+    }
+    for (std::size_t j = n; j-- > 0;) {
+      double* xj = work + j * w;
+      for (std::size_t p = lp_[j]; p < lp_[j + 1]; ++p) {
+        const double* row = work + li_[p] * w;
+        const double l = lx_[p];
+        for (std::size_t t = 0; t < w; ++t) xj[t] -= l * row[t];
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t dst = perm_[k];
+      for (std::size_t t = 0; t < w; ++t) x[(t0 + t) * n + dst] = work[k * w + t];
+    }
+  }
+}
+
 }  // namespace aqua::linalg

@@ -43,6 +43,18 @@ class SparseLdlt {
   /// Convenience allocating overload.
   std::vector<double> solve(std::span<const double> b);
 
+  /// Solves A X = B for `nrhs` right-hand sides sharing the current
+  /// factorization. `b` and `x` hold nrhs vectors of dimension() entries
+  /// each, each vector contiguous (sizes nrhs * dimension()); they must
+  /// not alias. Per-RHS arithmetic is the identical operation sequence to
+  /// solve(), so results are bit-identical to nrhs repeated solves — the
+  /// blocked passes just amortize each factor column across up to
+  /// kBlockWidth right-hand sides for cache reuse.
+  void solve_block(std::span<const double> b, std::span<double> x, std::size_t nrhs);
+
+  /// RHS tile width of solve_block (scratch is dimension() * kBlockWidth).
+  static constexpr std::size_t kBlockWidth = 8;
+
   bool analyzed() const noexcept { return !perm_.empty() || dimension() == 0; }
   bool factorized() const noexcept { return factorized_; }
   std::size_t dimension() const noexcept { return parent_.size(); }
@@ -69,6 +81,7 @@ class SparseLdlt {
   // state.
   std::vector<std::size_t> flag_, pattern_, stack_, lnz_;
   std::vector<double> y_, work_;
+  std::vector<double> block_work_;  // node-major tile for solve_block
 };
 
 }  // namespace aqua::linalg

@@ -1,0 +1,309 @@
+#include "linalg/linear_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/dense.hpp"
+
+namespace aqua::linalg {
+namespace {
+
+class LdltSystem final : public LinearSystem {
+ public:
+  const char* name() const noexcept override { return "ldlt"; }
+  std::size_t dimension() const noexcept override { return factor_.dimension(); }
+
+  void analyze(const CsrMatrix& pattern) override { factor_.analyze(pattern); }
+
+  void refactor_values(const CsrMatrix& a) override { factor_.factorize(a); }
+
+  LinearSolveStats solve(std::span<const double> b, std::span<double> x) override {
+    factor_.solve(b, x);
+    return {.iterations = 0, .relative_residual = 0.0, .converged = true};
+  }
+
+  LinearSolveStats solve_block(std::span<const double> b, std::span<double> x,
+                               std::size_t nrhs) override {
+    factor_.solve_block(b, x, nrhs);
+    return {.iterations = 0, .relative_residual = 0.0, .converged = true};
+  }
+
+  std::unique_ptr<LinearSystem> clone() const override {
+    return std::make_unique<LdltSystem>(*this);
+  }
+
+ private:
+  SparseLdlt factor_;
+};
+
+class JacobiCgSystem final : public LinearSystem {
+ public:
+  explicit JacobiCgSystem(CgOptions options) : options_(options) {}
+  JacobiCgSystem(const JacobiCgSystem& other) : options_(other.options_), n_(other.n_) {}
+
+  const char* name() const noexcept override { return "jacobi-cg"; }
+  std::size_t dimension() const noexcept override { return n_; }
+
+  void analyze(const CsrMatrix& pattern) override { n_ = pattern.rows(); }
+
+  void refactor_values(const CsrMatrix& a) override {
+    AQUA_REQUIRE(a.rows() == n_, "refactor_values: dimension mismatch with analyzed pattern");
+    a_ = &a;
+  }
+
+  LinearSolveStats solve(std::span<const double> b, std::span<double> x) override {
+    AQUA_REQUIRE(a_ != nullptr, "solve before refactor_values");
+    const CgStats stats = conjugate_gradient_into(*a_, b, x, ws_, options_);
+    return {.iterations = stats.iterations,
+            .relative_residual = stats.relative_residual,
+            .converged = stats.converged};
+  }
+
+  std::unique_ptr<LinearSystem> clone() const override {
+    return std::make_unique<JacobiCgSystem>(*this);
+  }
+
+ private:
+  CgOptions options_;
+  std::size_t n_ = 0;
+  const CsrMatrix* a_ = nullptr;  // non-owning; reset on clone
+  CgWorkspace ws_;
+};
+
+/// IC(0)-preconditioned conjugate gradients. The incomplete factor L keeps
+/// exactly the lower-triangular pattern of A (zero fill), so the symbolic
+/// phase is one pattern pass and the numeric refactorization is
+/// O(nnz * avg row length) — per Newton iteration that is far cheaper than
+/// a full LDL^T refactor once factor fill grows with network size. The GGA
+/// node matrix is an M-matrix (diagonally dominant Laplacian plus emitter
+/// diagonals), for which IC(0) is known to exist; a diagonal-shift retry
+/// covers numerically borderline cases anyway.
+class Ic0CgSystem final : public LinearSystem {
+ public:
+  explicit Ic0CgSystem(CgOptions options) : options_(options) {}
+  Ic0CgSystem(const Ic0CgSystem& other)
+      : options_(other.options_),
+        lp_(other.lp_),
+        li_(other.li_),
+        a_slot_(other.a_slot_),
+        lx_(other.lx_),
+        shift_(other.shift_),
+        factored_(other.factored_),
+        w_(other.w_.size(), 0.0),
+        r_(other.r_.size(), 0.0),
+        z_(other.z_.size(), 0.0),
+        p_(other.p_.size(), 0.0),
+        ap_(other.ap_.size(), 0.0) {}
+
+  const char* name() const noexcept override { return "ic0-cg"; }
+  std::size_t dimension() const noexcept override { return lp_.empty() ? 0 : lp_.size() - 1; }
+
+  void analyze(const CsrMatrix& pattern) override {
+    const std::size_t n = pattern.rows();
+    const auto rp = pattern.row_pointers();
+    const auto ci = pattern.column_indices();
+
+    lp_.assign(n + 1, 0);
+    li_.clear();
+    a_slot_.clear();
+    for (std::size_t r = 0; r < n; ++r) {
+      bool saw_diag = false;
+      // CSR columns are sorted, so the lower-triangular run of each row is
+      // a prefix ending at the diagonal — which lands last in L's row, the
+      // position both triangular sweeps expect.
+      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+        if (ci[k] > r) break;
+        li_.push_back(ci[k]);
+        a_slot_.push_back(k);
+        saw_diag = ci[k] == r;
+      }
+      AQUA_REQUIRE(saw_diag, "ic0: pattern must store every diagonal entry");
+      lp_[r + 1] = li_.size();
+    }
+    lx_.assign(li_.size(), 0.0);
+    w_.assign(n, 0.0);
+    r_.assign(n, 0.0);
+    z_.assign(n, 0.0);
+    p_.assign(n, 0.0);
+    ap_.assign(n, 0.0);
+    shift_ = 0.0;
+    factored_ = false;
+  }
+
+  void refactor_values(const CsrMatrix& a) override {
+    const std::size_t n = dimension();
+    AQUA_REQUIRE(a.rows() == n, "refactor_values: dimension mismatch with analyzed pattern");
+    a_ = &a;
+    const auto ax = a.values();
+
+    // Manteuffel-style retry: on a non-positive pivot restart the whole
+    // factorization with the diagonal inflated by (1 + shift). The shift
+    // sticks for subsequent refactorizations (Newton iterations hit
+    // similar matrices) and resets only on analyze().
+    for (int attempt = 0;; ++attempt) {
+      if (factorize_with_shift(ax)) break;
+      AQUA_REQUIRE(attempt < 24, "ic0: preconditioner breakdown persists under diagonal shifts");
+      shift_ = shift_ == 0.0 ? 1e-8 : shift_ * 8.0;
+    }
+    factored_ = true;
+  }
+
+  LinearSolveStats solve(std::span<const double> b, std::span<double> x) override {
+    AQUA_REQUIRE(a_ != nullptr && factored_, "solve before refactor_values");
+    const std::size_t n = dimension();
+    AQUA_REQUIRE(b.size() == n && x.size() == n, "ic0 solve: dimension mismatch");
+
+    LinearSolveStats stats;
+    const double bnorm = norm2(b);
+    if (bnorm == 0.0) {
+      std::fill(x.begin(), x.end(), 0.0);
+      stats.converged = true;
+      return stats;
+    }
+
+    a_->multiply_into(x, r_);
+    for (std::size_t i = 0; i < n; ++i) r_[i] = b[i] - r_[i];
+    apply_preconditioner();
+    double rz = dot(r_, z_);
+    double rz_prev = 0.0;
+
+    // Same single-exit recurrence (and breakdown discipline) as
+    // conjugate_gradient_into; see solvers.cpp.
+    for (std::size_t it = 0;; ++it) {
+      stats.iterations = it;
+      stats.relative_residual = norm2(r_) / bnorm;
+      if (!std::isfinite(stats.relative_residual)) return stats;
+      if (stats.relative_residual < options_.tolerance) {
+        stats.converged = true;
+        return stats;
+      }
+      if (it == options_.max_iterations) return stats;
+
+      if (it == 0) {
+        std::copy(z_.begin(), z_.end(), p_.begin());
+      } else {
+        if (rz_prev == 0.0 || !std::isfinite(rz)) return stats;
+        const double beta = rz / rz_prev;
+        for (std::size_t i = 0; i < n; ++i) p_[i] = z_[i] + beta * p_[i];
+      }
+
+      a_->multiply_into(p_, ap_);
+      const double pap = dot(p_, ap_);
+      if (pap < 0.0) throw SolverError("ic0-cg: matrix is not positive definite");
+      if (pap == 0.0 || !std::isfinite(pap)) return stats;
+      const double alpha = rz / pap;
+      axpy(alpha, p_, x);
+      axpy(-alpha, ap_, std::span<double>(r_));
+      apply_preconditioner();
+      rz_prev = rz;
+      rz = dot(r_, z_);
+    }
+  }
+
+  std::unique_ptr<LinearSystem> clone() const override {
+    return std::make_unique<Ic0CgSystem>(*this);
+  }
+
+  double diagonal_shift() const noexcept { return shift_; }
+
+ private:
+  /// One IC(0) sweep at the current shift; false on non-positive pivot.
+  bool factorize_with_shift(std::span<const double> ax) {
+    const std::size_t n = dimension();
+    // w_ holds the scattered current row and is restored to all-zero at
+    // the end of each row, so dot products against earlier rows read exact
+    // zeros outside the row pattern — which is precisely the IC(0) drop
+    // rule.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t begin = lp_[i], end = lp_[i + 1];
+      for (std::size_t p = begin; p < end; ++p) w_[li_[p]] = ax[a_slot_[p]];
+      w_[i] *= 1.0 + shift_;
+
+      bool failed = false;
+      for (std::size_t p = begin; p + 1 < end; ++p) {
+        const std::size_t j = li_[p];
+        double s = w_[j];
+        const std::size_t jend = lp_[j + 1] - 1;  // exclude L(j,j)
+        for (std::size_t q = lp_[j]; q < jend; ++q) s -= lx_[q] * w_[li_[q]];
+        s /= lx_[jend];
+        lx_[p] = s;
+        w_[j] = s;
+      }
+      double dii = w_[i];
+      for (std::size_t p = begin; p + 1 < end; ++p) dii -= lx_[p] * lx_[p];
+      if (dii > 0.0 && std::isfinite(dii)) {
+        lx_[end - 1] = std::sqrt(dii);
+      } else {
+        failed = true;
+      }
+      for (std::size_t p = begin; p < end; ++p) w_[li_[p]] = 0.0;
+      if (failed) return false;
+    }
+    return true;
+  }
+
+  /// z = (L L^T)^{-1} r via the row-major forward/backward sweeps.
+  void apply_preconditioner() {
+    const std::size_t n = dimension();
+    std::copy(r_.begin(), r_.end(), z_.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t end = lp_[i + 1] - 1;
+      double zi = z_[i];
+      for (std::size_t p = lp_[i]; p < end; ++p) zi -= lx_[p] * z_[li_[p]];
+      z_[i] = zi / lx_[end];
+    }
+    for (std::size_t i = n; i-- > 0;) {
+      const std::size_t end = lp_[i + 1] - 1;
+      const double zi = z_[i] / lx_[end];
+      z_[i] = zi;
+      for (std::size_t p = lp_[i]; p < end; ++p) z_[li_[p]] -= lx_[p] * zi;
+    }
+  }
+
+  CgOptions options_;
+  // Symbolic: CSR of the lower triangle of A, diagonal last per row, plus
+  // the source slot of each entry in A's value array.
+  std::vector<std::size_t> lp_, li_, a_slot_;
+  // Numeric factor and scratch.
+  std::vector<double> lx_;
+  double shift_ = 0.0;
+  bool factored_ = false;
+  const CsrMatrix* a_ = nullptr;  // non-owning; reset on clone
+  std::vector<double> w_, r_, z_, p_, ap_;
+};
+
+}  // namespace
+
+LinearSolveStats LinearSystem::solve_block(std::span<const double> b, std::span<double> x,
+                                           std::size_t nrhs) {
+  const std::size_t n = dimension();
+  AQUA_REQUIRE(b.size() == n * nrhs && x.size() == n * nrhs,
+               "solve_block: expected nrhs contiguous vectors of dimension() entries");
+  LinearSolveStats aggregate;
+  aggregate.converged = true;
+  for (std::size_t t = 0; t < nrhs; ++t) {
+    const auto stats = solve(b.subspan(t * n, n), x.subspan(t * n, n));
+    aggregate.iterations = std::max(aggregate.iterations, stats.iterations);
+    aggregate.relative_residual = std::max(aggregate.relative_residual, stats.relative_residual);
+    aggregate.converged = aggregate.converged && stats.converged;
+  }
+  return aggregate;
+}
+
+std::unique_ptr<LinearSystem> make_linear_system(LinearBackend backend, CgOptions cg) {
+  switch (backend) {
+    case LinearBackend::kLdlt:
+      return std::make_unique<LdltSystem>();
+    case LinearBackend::kJacobiCg:
+      return std::make_unique<JacobiCgSystem>(cg);
+    case LinearBackend::kIc0Cg:
+      return std::make_unique<Ic0CgSystem>(cg);
+  }
+  throw InvalidArgument("make_linear_system: unknown backend");
+}
+
+}  // namespace aqua::linalg

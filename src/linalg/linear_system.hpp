@@ -1,0 +1,101 @@
+// Pluggable backends for the SPD node systems of the hydraulic solver.
+//
+// The Global Gradient Algorithm needs, per Newton iteration, one linear
+// solve against a matrix whose *pattern* is fixed (the network adjacency)
+// and whose *values* change. At the 96/299-node scale of the paper's
+// evaluation networks a cached sparse LDL^T wins outright; at city scale
+// (10k-100k nodes, networks/generator.hpp) the numeric refactorization —
+// O(factor fill) per Newton iteration — dominates, and an incomplete-
+// Cholesky-preconditioned CG warm-started from the previous Newton iterate
+// overtakes it. LinearSystem abstracts that choice behind one lifecycle:
+//
+//   analyze(pattern)       once per topology: symbolic setup
+//   refactor_values(a)     per Newton iteration: numeric setup
+//   solve(b, x)            x carries the warm start in, the solution out
+//   solve_block(b, x, k)   k right-hand sides against one factorization
+//   clone()                deep copy preserving the symbolic analysis,
+//                          so per-thread solver pools pay it once
+//
+// GgaSolver picks the backend from SolverOptions::linear_solver; kAuto
+// crosses over on node count (see hydraulics/solver.hpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "linalg/solvers.hpp"
+#include "linalg/sparse.hpp"
+
+namespace aqua::linalg {
+
+enum class LinearBackend {
+  /// Sparse LDL^T, minimum-degree ordering, cached symbolic factorization
+  /// (cholesky.hpp). Exact; refactor cost grows with factor fill.
+  kLdlt,
+  /// Jacobi-preconditioned CG (solvers.hpp). Matrix-free cross-check.
+  kJacobiCg,
+  /// IC(0)-preconditioned CG: incomplete Cholesky on the matrix pattern
+  /// (zero fill), O(nnz) refactor, warm-started iterations. The city-scale
+  /// backend.
+  kIc0Cg,
+};
+
+/// Outcome of one LinearSystem::solve. Direct backends report converged
+/// with zero iterations; iterative backends report honest counts and the
+/// final relative residual.
+struct LinearSolveStats {
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+class LinearSystem {
+ public:
+  virtual ~LinearSystem() = default;
+
+  virtual const char* name() const noexcept = 0;
+  virtual std::size_t dimension() const noexcept = 0;
+
+  /// Symbolic setup for a sparsity pattern (values ignored); once per
+  /// topology. Must be called before refactor_values.
+  virtual void analyze(const CsrMatrix& pattern) = 0;
+
+  /// Numeric setup for the current values of `a`, whose pattern must match
+  /// the analyzed one. Iterative backends keep a non-owning reference to
+  /// `a` for their matrix-vector products: `a` must stay alive and
+  /// unchanged (values included) until the next refactor_values. Throws
+  /// SolverError when the matrix defeats the backend (non-SPD pivot,
+  /// preconditioner breakdown beyond repair).
+  virtual void refactor_values(const CsrMatrix& a) = 0;
+
+  /// Convenience: analyze + refactor_values in one call.
+  void factor(const CsrMatrix& a) {
+    analyze(a);
+    refactor_values(a);
+  }
+
+  /// Solves A x = b. On entry `x` carries the warm start (iterative
+  /// backends exploit it; direct backends overwrite). `b` and `x` must not
+  /// alias. Non-convergence is reported via the stats, not thrown.
+  virtual LinearSolveStats solve(std::span<const double> b, std::span<double> x) = 0;
+
+  /// Solves `nrhs` systems sharing the current factorization. `b` and `x`
+  /// hold nrhs vectors of dimension() entries each, each vector contiguous.
+  /// Results are identical to nrhs repeated solve() calls; the direct
+  /// backend runs genuinely blocked triangular passes. Reported iterations
+  /// are the per-RHS maximum; converged means all RHS converged.
+  virtual LinearSolveStats solve_block(std::span<const double> b, std::span<double> x,
+                                       std::size_t nrhs);
+
+  /// Deep copy preserving symbolic (and numeric) state — what lets a
+  /// per-thread solver pool share one analysis per network. The clone does
+  /// not inherit the non-owning matrix reference; call refactor_values on
+  /// it before solving.
+  virtual std::unique_ptr<LinearSystem> clone() const = 0;
+};
+
+/// Factory. `cg` configures the iterative backends (ignored by kLdlt).
+std::unique_ptr<LinearSystem> make_linear_system(LinearBackend backend, CgOptions cg = {});
+
+}  // namespace aqua::linalg

@@ -7,6 +7,35 @@
 #include "linalg/dense.hpp"
 
 namespace aqua::linalg {
+namespace {
+
+/// Rebuilds the workspace diagonal-slot cache by scanning the pattern once
+/// (O(nnz)); every subsequent solve against the same pattern refills the
+/// preconditioner from the cached slots in O(n).
+void rebuild_diag_slots(CgWorkspace& ws, const CsrMatrix& a) {
+  const std::size_t n = a.rows();
+  const auto rp = a.row_pointers();
+  const auto ci = a.column_indices();
+  ws.diag_slot.assign(n, CgWorkspace::kNoDiag);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) ws.diag_slot[r] = k;
+    }
+  }
+  ws.bound_columns = ci.data();
+  ws.bound_rows = n;
+  ws.bound_nnz = a.nnz();
+}
+
+}  // namespace
+
+void CgWorkspace::bind_diag_slots(const CsrMatrix& a, std::span<const std::size_t> slots) {
+  AQUA_REQUIRE(slots.size() == a.rows(), "bind_diag_slots: one slot per row required");
+  diag_slot.assign(slots.begin(), slots.end());
+  bound_columns = a.column_indices().data();
+  bound_rows = a.rows();
+  bound_nnz = a.nnz();
+}
 
 CgStats conjugate_gradient_into(const CsrMatrix& a, std::span<const double> b,
                                 std::span<double> x, CgWorkspace& ws,
@@ -29,16 +58,15 @@ CgStats conjugate_gradient_into(const CsrMatrix& a, std::span<const double> b,
   ws.ap.resize(n);
   ws.inv_diag.resize(n);
 
-  // Jacobi preconditioner M = diag(A).
+  // Jacobi preconditioner M = diag(A): slot positions from the workspace
+  // cache (rebuilt only when the pattern changes), values re-read every
+  // call because Newton loops refill the same pattern with new values.
+  if (!ws.bound_to(a)) rebuild_diag_slots(ws, a);
   {
-    const auto rp = a.row_pointers();
-    const auto ci = a.column_indices();
     const auto av = a.values();
     for (std::size_t r = 0; r < n; ++r) {
-      double d = 0.0;
-      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
-        if (ci[k] == r) d = av[k];
-      }
+      const std::size_t slot = ws.diag_slot[r];
+      const double d = slot == CgWorkspace::kNoDiag ? 0.0 : av[slot];
       ws.inv_diag[r] = (d != 0.0) ? 1.0 / d : 1.0;
     }
   }
@@ -46,35 +74,59 @@ CgStats conjugate_gradient_into(const CsrMatrix& a, std::span<const double> b,
   a.multiply_into(x, ws.r);
   for (std::size_t i = 0; i < n; ++i) ws.r[i] = b[i] - ws.r[i];
   for (std::size_t i = 0; i < n; ++i) ws.z[i] = ws.inv_diag[i] * ws.r[i];
-  std::copy(ws.z.begin(), ws.z.end(), ws.p.begin());
   double rz = dot(ws.r, ws.z);
+  double rz_prev = 0.0;
 
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    const double rnorm = norm2(ws.r);
-    stats.relative_residual = rnorm / bnorm;
+  // Single exit discipline: the residual is checked at the top of every
+  // pass, so `iterations` is the number of updates applied to `x` at every
+  // return — including convergence detected exactly at the budget (the old
+  // post-loop epilogue reported that case inconsistently).
+  for (std::size_t it = 0;; ++it) {
+    stats.iterations = it;
+    stats.relative_residual = norm2(ws.r) / bnorm;
+    if (!std::isfinite(stats.relative_residual)) {
+      stats.breakdown = true;
+      return stats;
+    }
     if (stats.relative_residual < options.tolerance) {
-      stats.iterations = it;
       stats.converged = true;
       return stats;
     }
+    if (it == options.max_iterations) return stats;
+
+    if (it == 0) {
+      std::copy(ws.z.begin(), ws.z.end(), ws.p.begin());
+    } else {
+      // beta = (r'z)_k / (r'z)_{k-1}. The denominator can underflow to
+      // exactly zero mid-iteration on near-converged / badly scaled
+      // systems; dividing would inject NaN into the iterate, so report
+      // breakdown with the last valid iterate instead.
+      if (rz_prev == 0.0 || !std::isfinite(rz)) {
+        stats.breakdown = true;
+        return stats;
+      }
+      const double beta = rz / rz_prev;
+      for (std::size_t i = 0; i < n; ++i) ws.p[i] = ws.z[i] + beta * ws.p[i];
+    }
+
     a.multiply_into(ws.p, ws.ap);
     const double pap = dot(ws.p, ws.ap);
-    if (pap <= 0.0 || !std::isfinite(pap)) {
+    if (pap < 0.0) {
       throw SolverError("conjugate_gradient: matrix is not positive definite");
+    }
+    if (pap == 0.0 || !std::isfinite(pap)) {
+      // Zero curvature along p (singular direction or underflow): x is
+      // still the best iterate; honest failure beats a NaN solution.
+      stats.breakdown = true;
+      return stats;
     }
     const double alpha = rz / pap;
     axpy(alpha, ws.p, x);
     axpy(-alpha, ws.ap, ws.r);
     for (std::size_t i = 0; i < n; ++i) ws.z[i] = ws.inv_diag[i] * ws.r[i];
-    const double rz_next = dot(ws.r, ws.z);
-    const double beta = rz_next / rz;
-    rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) ws.p[i] = ws.z[i] + beta * ws.p[i];
+    rz_prev = rz;
+    rz = dot(ws.r, ws.z);
   }
-  stats.iterations = options.max_iterations;
-  stats.relative_residual = norm2(ws.r) / bnorm;
-  stats.converged = stats.relative_residual < options.tolerance;
-  return stats;
 }
 
 CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
@@ -89,6 +141,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
   result.iterations = stats.iterations;
   result.relative_residual = stats.relative_residual;
   result.converged = stats.converged;
+  result.breakdown = stats.breakdown;
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "networks/generator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <queue>
 #include <string>
@@ -38,8 +39,15 @@ hydraulics::Pattern diurnal_pattern(const std::string& name) {
 }
 
 GridSkeleton build_grid_skeleton(Network& network, const GridSkeletonSpec& spec) {
+  // All spec validation happens before the first node is added, so a
+  // rejected spec leaves `network` untouched (strong exception safety).
+  // The candidate-edge count of the 4-neighborhood grid is closed-form:
+  // rows*(cols-1) horizontal + (rows-1)*cols vertical edges.
   AQUA_REQUIRE(spec.rows >= 2 && spec.cols >= 2, "grid must be at least 2x2");
   const std::size_t n = spec.rows * spec.cols;
+  const std::size_t num_candidates = spec.rows * (spec.cols - 1) + (spec.rows - 1) * spec.cols;
+  AQUA_REQUIRE(num_candidates >= n - 1 + spec.extra_loops,
+               "grid too small for requested loop count");
   Rng rng(spec.seed);
 
   GridSkeleton skeleton;
@@ -49,12 +57,15 @@ GridSkeleton build_grid_skeleton(Network& network, const GridSkeletonSpec& spec)
   for (std::size_t r = 0; r < spec.rows; ++r) {
     for (std::size_t c = 0; c < spec.cols; ++c) {
       const double jitter = spec.jitter_frac * spec.spacing_m;
-      const double x = static_cast<double>(c) * spec.spacing_m + rng.uniform(-jitter, jitter);
-      const double y = static_cast<double>(r) * spec.spacing_m + rng.uniform(-jitter, jitter);
+      const double x =
+          spec.origin_x_m + static_cast<double>(c) * spec.spacing_m + rng.uniform(-jitter, jitter);
+      const double y =
+          spec.origin_y_m + static_cast<double>(r) * spec.spacing_m + rng.uniform(-jitter, jitter);
       const double elevation =
           terrain_elevation(x, y, spec.elevation_base_m, spec.elevation_relief_m);
       const double demand = rng.uniform(spec.demand_min_lps, spec.demand_max_lps);
-      const std::string name = "J" + std::to_string(r) + "_" + std::to_string(c);
+      const std::string name =
+          spec.junction_prefix + std::to_string(r) + "_" + std::to_string(c);
       skeleton.grid_nodes.push_back(
           network.add_junction(name, elevation, demand, spec.demand_pattern, x, y));
     }
@@ -65,6 +76,7 @@ GridSkeleton build_grid_skeleton(Network& network, const GridSkeletonSpec& spec)
     std::size_t a, b;  // grid indices
   };
   std::vector<Candidate> candidates;
+  candidates.reserve(num_candidates);
   auto grid_index = [&](std::size_t r, std::size_t c) { return r * spec.cols + c; };
   for (std::size_t r = 0; r < spec.rows; ++r) {
     for (std::size_t c = 0; c < spec.cols; ++c) {
@@ -72,8 +84,6 @@ GridSkeleton build_grid_skeleton(Network& network, const GridSkeletonSpec& spec)
       if (r + 1 < spec.rows) candidates.push_back({grid_index(r, c), grid_index(r + 1, c)});
     }
   }
-  AQUA_REQUIRE(candidates.size() >= n - 1 + spec.extra_loops,
-               "grid too small for requested loop count");
 
   // Randomized spanning tree: shuffle candidates, union-find accept.
   rng.shuffle(candidates);
@@ -144,10 +154,138 @@ GridSkeleton build_grid_skeleton(Network& network, const GridSkeletonSpec& spec)
     const double length = std::max(std::hypot(dx, dy), 10.0);
     const double diameter = diameter_for_depth(std::min(depth[e.a], depth[e.b]));
     const double roughness = rng.uniform(95.0, 135.0);  // aged-to-new HW C
-    network.add_pipe("P" + std::to_string(pipe_counter++), a, b, length, diameter, roughness);
+    network.add_pipe(spec.pipe_prefix + std::to_string(pipe_counter++), a, b, length, diameter,
+                     roughness);
   }
   skeleton.num_pipes = pipe_counter;
   return skeleton;
+}
+
+CityNetwork make_city(Network& network, const CitySpec& spec) {
+  AQUA_REQUIRE(spec.district_rows >= 1 && spec.district_cols >= 1, "city needs >= 1 district");
+  AQUA_REQUIRE(spec.district_grid >= 4, "district grid must be at least 4x4");
+  AQUA_REQUIRE(spec.loop_fraction >= 0.0 && spec.loop_fraction <= 0.9,
+               "loop_fraction out of range");
+
+  const std::size_t g = spec.district_grid;
+  const std::size_t districts = spec.district_rows * spec.district_cols;
+  const double district_span = static_cast<double>(g - 1) * spec.spacing_m;
+  const double pitch = district_span + spec.district_gap_m;  // district origin spacing
+
+  Rng city_rng(spec.seed);
+
+  // Four phase-shifted diurnal patterns: residential morning/evening peaks
+  // at staggered hours, so district demands are correlated but not
+  // identical — the "highly correlated measurements" regime of Sec. I.
+  std::array<int, 4> patterns{};
+  for (std::size_t k = 0; k < patterns.size(); ++k) {
+    hydraulics::Pattern p = diurnal_pattern("diurnal" + std::to_string(k));
+    std::rotate(p.multipliers.begin(),
+                p.multipliers.begin() + static_cast<std::ptrdiff_t>(k * 2), p.multipliers.end());
+    patterns[k] = network.add_pattern(std::move(p));
+  }
+
+  CityNetwork city;
+  city.num_districts = districts;
+  const std::size_t tree_pipes = g * g - 1;
+  const std::size_t extra_loops =
+      static_cast<std::size_t>(spec.loop_fraction * static_cast<double>(tree_pipes));
+
+  // Per-district skeletons. Each district has its own seed derived from the
+  // city RNG (drawn in a fixed order, so the whole city is deterministic).
+  std::vector<hydraulics::NodeId> gates;  // trunk attachment node per district
+  gates.reserve(districts);
+  for (std::size_t dr = 0; dr < spec.district_rows; ++dr) {
+    for (std::size_t dc = 0; dc < spec.district_cols; ++dc) {
+      const std::size_t d = dr * spec.district_cols + dc;
+      GridSkeletonSpec gs;
+      gs.rows = g;
+      gs.cols = g;
+      gs.extra_loops = extra_loops;
+      gs.spacing_m = spec.spacing_m;
+      gs.origin_x_m = static_cast<double>(dc) * pitch;
+      gs.origin_y_m = static_cast<double>(dr) * pitch;
+      gs.elevation_base_m = spec.elevation_base_m;
+      gs.elevation_relief_m = spec.elevation_relief_m;
+      gs.demand_min_lps = spec.demand_min_lps;
+      gs.demand_max_lps = spec.demand_max_lps;
+      gs.demand_pattern = patterns[d % patterns.size()];
+      gs.junction_prefix = "D" + std::to_string(d) + "_J";
+      gs.pipe_prefix = "D" + std::to_string(d) + "_P";
+      gs.seed = city_rng();
+      const GridSkeleton skeleton = build_grid_skeleton(network, gs);
+      city.num_junctions += skeleton.grid_nodes.size();
+      city.num_pipes += skeleton.num_pipes;
+
+      // District source: reservoir at the corner, head above the local max
+      // elevation so the whole district is gravity-fed.
+      double max_elev = 0.0;
+      for (NodeId v : skeleton.grid_nodes) max_elev = std::max(max_elev, network.node(v).elevation);
+      const NodeId corner = skeleton.grid_nodes.front();
+      const auto& corner_node = network.node(corner);
+      const NodeId reservoir = network.add_reservoir("R" + std::to_string(d), max_elev + 45.0,
+                                                     corner_node.x - 60.0, corner_node.y - 60.0);
+      network.add_pipe("D" + std::to_string(d) + "_SRC", reservoir, corner, 80.0, 0.6,
+                       city_rng.uniform(120.0, 135.0));
+      ++city.num_reservoirs;
+
+      // Elevated tank off the opposite corner, floating near service head.
+      const NodeId far_corner = skeleton.grid_nodes.back();
+      const auto& far_node = network.node(far_corner);
+      const double tank_base = max_elev + 25.0;
+      const NodeId tank =
+          network.add_tank("TK" + std::to_string(d), tank_base, 10.0, 2.0, 18.0, 22.0,
+                           far_node.x + 60.0, far_node.y + 60.0);
+      network.add_pipe("D" + std::to_string(d) + "_TNK", tank, far_corner, 80.0, 0.45,
+                       city_rng.uniform(120.0, 135.0));
+      ++city.num_tanks;
+
+      // Trunk attachment: a mid-grid junction, so district-to-district
+      // mains tie into the looped core rather than the fringe.
+      gates.push_back(skeleton.grid_nodes[(g / 2) * g + g / 2]);
+    }
+  }
+
+  // Trunk mains stitch adjacent districts (4-neighborhood of the macro
+  // grid) — large-diameter, so inter-district transfers are cheap and the
+  // city solves as one connected hydraulic system.
+  std::size_t trunk_counter = 0;
+  auto stitch = [&](std::size_t da, std::size_t db) {
+    const NodeId a = gates[da], b = gates[db];
+    const auto& na = network.node(a);
+    const auto& nb = network.node(b);
+    const double length = std::max(std::hypot(na.x - nb.x, na.y - nb.y), 10.0);
+    network.add_pipe("TRUNK" + std::to_string(trunk_counter++), a, b, length, 0.6,
+                     city_rng.uniform(120.0, 135.0));
+  };
+  for (std::size_t dr = 0; dr < spec.district_rows; ++dr) {
+    for (std::size_t dc = 0; dc < spec.district_cols; ++dc) {
+      const std::size_t d = dr * spec.district_cols + dc;
+      if (dc + 1 < spec.district_cols) stitch(d, d + 1);
+      if (dr + 1 < spec.district_rows) stitch(d, d + spec.district_cols);
+    }
+  }
+  city.num_trunk_mains = trunk_counter;
+  return city;
+}
+
+CitySpec city_spec_for_nodes(std::size_t approx_nodes, std::uint64_t seed) {
+  AQUA_REQUIRE(approx_nodes >= 64, "city target too small; use build_grid_skeleton directly");
+  CitySpec spec;
+  spec.seed = seed;
+  // Keep districts near ~1600 junctions; lay the macro grid out as close
+  // to square as divisibility allows.
+  const std::size_t districts = std::max<std::size_t>(
+      1, (approx_nodes + 800) / 1600);
+  std::size_t rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(districts)));
+  rows = std::max<std::size_t>(1, rows);
+  while (districts % rows != 0) --rows;
+  spec.district_rows = rows;
+  spec.district_cols = districts / rows;
+  const double per_district = static_cast<double>(approx_nodes) / static_cast<double>(districts);
+  spec.district_grid =
+      std::max<std::size_t>(4, static_cast<std::size_t>(std::lround(std::sqrt(per_district))));
+  return spec;
 }
 
 }  // namespace aqua::networks

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hydraulics/network.hpp"
@@ -21,11 +22,15 @@ struct GridSkeletonSpec {
   std::size_t extra_loops = 25;    // chords beyond the spanning tree
   double spacing_m = 150.0;        // nominal grid spacing
   double jitter_frac = 0.25;       // positional jitter as fraction of spacing
+  double origin_x_m = 0.0;         // world-space offset of grid cell (0, 0)
+  double origin_y_m = 0.0;
   double elevation_base_m = 10.0;
   double elevation_relief_m = 18.0;  // terrain amplitude
   double demand_min_lps = 0.2;
   double demand_max_lps = 1.2;
   int demand_pattern = -1;  // pattern index to attach to every junction
+  std::string junction_prefix = "J";  // node names: <prefix><row>_<col>
+  std::string pipe_prefix = "P";      // pipe names: <prefix><counter>
   std::uint64_t seed = 1;
 };
 
@@ -43,10 +48,52 @@ double terrain_elevation(double x, double y, double base_m, double relief_m);
 /// Adds rows*cols junctions and (rows*cols - 1 + extra_loops) pipes to
 /// `network`. Pipe diameters are assigned by BFS depth from grid node 0
 /// (trunk mains near the origin, distribution pipes at the fringe).
+/// Strong exception safety: the spec is validated in full before the first
+/// node is added, so a throwing call leaves `network` untouched.
 GridSkeleton build_grid_skeleton(hydraulics::Network& network, const GridSkeletonSpec& spec);
 
 /// A 24-value diurnal demand pattern with morning and evening peaks,
 /// normalized to mean 1.
 hydraulics::Pattern diurnal_pattern(const std::string& name = "diurnal");
+
+/// A city: a macro-grid of districts, each a jittered grid skeleton with
+/// its own reservoir and elevated tank, stitched together by large-
+/// diameter trunk mains between adjacent districts. Defaults give ~10k
+/// nodes; city_spec_for_nodes() scales the knobs to a target size.
+struct CitySpec {
+  std::size_t district_rows = 2;      // macro-grid of districts
+  std::size_t district_cols = 3;
+  std::size_t district_grid = 41;     // each district is grid x grid junctions
+  double spacing_m = 110.0;           // junction spacing inside a district
+  double district_gap_m = 450.0;      // extra separation between districts
+  double loop_fraction = 0.22;        // extra chords per district, as a
+                                      // fraction of the spanning-tree size
+  double elevation_base_m = 8.0;
+  double elevation_relief_m = 30.0;   // city-scale terrain amplitude
+  double demand_min_lps = 0.15;
+  double demand_max_lps = 0.9;
+  std::uint64_t seed = 2026;
+};
+
+/// Structure report from make_city.
+struct CityNetwork {
+  std::size_t num_districts = 0;
+  std::size_t num_junctions = 0;
+  std::size_t num_reservoirs = 0;
+  std::size_t num_tanks = 0;
+  std::size_t num_pipes = 0;        // in-district pipes
+  std::size_t num_trunk_mains = 0;  // district-to-district stitches
+};
+
+/// Builds the city into a fresh network named "city-<seed>". Deterministic:
+/// the same spec produces a bit-identical network. Each district gets one
+/// reservoir (head = local max terrain + margin, so every district is
+/// gravity-fed) and one elevated tank; junction demands follow one of four
+/// phase-shifted diurnal patterns, chosen per district.
+CityNetwork make_city(hydraulics::Network& network, const CitySpec& spec);
+
+/// Picks district/grid counts so make_city yields roughly `approx_nodes`
+/// nodes (within ~15%), keeping districts near ~1600 junctions each.
+CitySpec city_spec_for_nodes(std::size_t approx_nodes, std::uint64_t seed = 2026);
 
 }  // namespace aqua::networks

@@ -1,0 +1,93 @@
+// Slow suite: city-scale (~10k node) backend agreement and the kAuto
+// crossover behavior on networks big enough for it to trigger. Labelled
+// "slow" in CMake; excluded from the quick `ctest -L unit` loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hydraulics/network.hpp"
+#include "hydraulics/solver.hpp"
+#include "networks/generator.hpp"
+
+namespace aqua::networks {
+namespace {
+
+using hydraulics::GgaSolver;
+using hydraulics::LinearSolver;
+using hydraulics::Network;
+using hydraulics::NodeId;
+using hydraulics::SolverOptions;
+
+TEST(CityScale, LdltAndIc0CgAgreeOnTenThousandNodeCity) {
+  Network net;
+  const CitySpec spec = city_spec_for_nodes(10000, 7);
+  make_city(net, spec);
+  ASSERT_GE(net.num_nodes(), 9000u);
+
+  SolverOptions options;
+  options.linear_solver = LinearSolver::kCholesky;
+  const GgaSolver direct(net, options);
+  const auto direct_state = direct.solve_snapshot();
+  ASSERT_TRUE(direct_state.converged);
+
+  options.linear_solver = LinearSolver::kIc0Cg;
+  options.cg.tolerance = 1e-12;
+  options.cg.max_iterations = 30000;  // ~1e5 conductance contrast at this size
+  const GgaSolver iterative(net, options);
+  const auto iter_state = iterative.solve_snapshot();
+  ASSERT_TRUE(iter_state.converged);
+
+  double max_head_diff = 0.0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    max_head_diff = std::max(max_head_diff, std::abs(direct_state.head[v] - iter_state.head[v]));
+  }
+  EXPECT_LT(max_head_diff, 1e-6);
+
+  double max_flow_diff = 0.0;
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    max_flow_diff = std::max(max_flow_diff, std::abs(direct_state.flow[l] - iter_state.flow[l]));
+  }
+  EXPECT_LT(max_flow_diff, 1e-6);
+}
+
+TEST(CityScale, AutoCrossoverResolvesAndSolvesAtScale) {
+  Network net;
+  make_city(net, city_spec_for_nodes(10000, 7));
+
+  // The measured default keeps kAuto on the direct backend even at 10k
+  // nodes (the sweep found no crossover up to 50k on planar city grids).
+  SolverOptions options;  // default linear_solver == kAuto
+  ASSERT_LT(net.num_nodes(), options.auto_crossover_nodes);
+  const GgaSolver as_direct(net, options);
+  EXPECT_EQ(as_direct.linear_backend(), LinearSolver::kCholesky);
+
+  // Lowering the threshold below the network size flips the resolution to
+  // the iterative backend, which still solves the same physics.
+  options.auto_crossover_nodes = 5000;
+  options.cg.max_iterations = 30000;
+  const GgaSolver as_iterative(net, options);
+  EXPECT_EQ(as_iterative.linear_backend(), LinearSolver::kIc0Cg);
+  const auto state = as_iterative.solve_snapshot();
+  EXPECT_TRUE(state.converged);
+}
+
+TEST(CityScale, PrototypeCloneSharesAnalysisAtScale) {
+  Network net;
+  make_city(net, city_spec_for_nodes(10000, 7));
+
+  const GgaSolver prototype(net);
+  const auto from_prototype = prototype.solve_snapshot();
+
+  Network copy = net;
+  const GgaSolver cloned(copy, prototype);
+  const auto from_clone = cloned.solve_snapshot();
+
+  ASSERT_TRUE(from_prototype.converged);
+  ASSERT_TRUE(from_clone.converged);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_EQ(from_prototype.head[v], from_clone.head[v]);
+  }
+}
+
+}  // namespace
+}  // namespace aqua::networks

@@ -66,6 +66,30 @@ TEST_F(EnumerationTest, RecoversSingleLeakWithCleanObservations) {
   EXPECT_GT(outcome.hydraulic_solves, labels_.num_labels());  // it really enumerated
 }
 
+TEST_F(EnumerationTest, ScreeningPrunesTrialsAndKeepsTheLeak) {
+  const auto sensors = sensing::full_observation(net_);
+  const std::size_t truth = 40;
+  const auto observed = observed_for(sensors, truth, 0.004, 0, 0);
+
+  EnumerationConfig config;
+  config.candidate_ecs = {0.004};
+  config.max_leaks = 2;
+  const EnumerationLocalizer unscreened_localizer(net_, sensors, config);
+  const auto unscreened = unscreened_localizer.localize(observed, 0, 0);
+
+  config.screen_top_k = 10;
+  const EnumerationLocalizer screened_localizer(net_, sensors, config);
+  const auto screened = screened_localizer.localize(observed, 0, 0);
+
+  // The linearized probe must rank the true leak into the top 10 of the
+  // candidate set, and the greedy search over the pruned set still finds
+  // it — with far fewer full hydraulic solves.
+  EXPECT_EQ(screened.predicted[truth], 1);
+  EXPECT_EQ(screened.screened_labels, 10u);
+  EXPECT_EQ(unscreened.screened_labels, labels_.num_labels());
+  EXPECT_LT(screened.hydraulic_solves, unscreened.hydraulic_solves / 2);
+}
+
 TEST_F(EnumerationTest, NoLeakNoDetection) {
   const auto sensors = sensing::full_observation(net_);
   EnumerationConfig config;

@@ -149,8 +149,30 @@ TEST(GgaSolver, InvalidNetworkRejectedAtConstruction) {
   EXPECT_THROW(GgaSolver{net}, InvalidArgument);
 }
 
-TEST(GgaSolver, DefaultInnerSolverIsCholesky) {
-  EXPECT_EQ(SolverOptions{}.linear_solver, LinearSolver::kCholesky);
+TEST(GgaSolver, DefaultInnerSolverIsAutoResolvingToCholeskyOnSmallNets) {
+  EXPECT_EQ(SolverOptions{}.linear_solver, LinearSolver::kAuto);
+  // Both builtin evaluation networks sit far below the crossover, so the
+  // default configuration keeps the exact behavior of the old kCholesky
+  // default.
+  const GgaSolver epa(networks::make_epa_net());
+  EXPECT_EQ(epa.linear_backend(), LinearSolver::kCholesky);
+  const GgaSolver wssc(networks::make_wssc_subnet());
+  EXPECT_EQ(wssc.linear_backend(), LinearSolver::kCholesky);
+}
+
+TEST(GgaSolver, AutoCrossoverHonorsThreshold) {
+  const auto net = networks::make_epa_net();
+  SolverOptions options;
+  options.linear_solver = LinearSolver::kAuto;
+  // Force the crossover below this network's junction count: kAuto must
+  // resolve to the iterative city-scale backend.
+  options.auto_crossover_nodes = 1;
+  const GgaSolver solver(net, options);
+  EXPECT_EQ(solver.linear_backend(), LinearSolver::kIc0Cg);
+  // Explicit choices pass through untouched.
+  options.linear_solver = LinearSolver::kCholesky;
+  const GgaSolver forced(net, options);
+  EXPECT_EQ(forced.linear_backend(), LinearSolver::kCholesky);
 }
 
 /// Solves one snapshot with the given inner solver, at tight tolerances so
@@ -170,16 +192,18 @@ HydraulicState solve_with(const Network& net, LinearSolver linear_solver) {
 
 void expect_inner_solvers_agree(const Network& net) {
   const auto chol = solve_with(net, LinearSolver::kCholesky);
-  const auto cg = solve_with(net, LinearSolver::kConjugateGradient);
   ASSERT_TRUE(chol.converged);
-  ASSERT_TRUE(cg.converged);
-  for (std::size_t v = 0; v < net.num_nodes(); ++v) {
-    EXPECT_NEAR(chol.head[v], cg.head[v], 1e-8) << net.name() << " head at node " << v;
-    EXPECT_NEAR(chol.pressure[v], cg.pressure[v], 1e-8);
-    EXPECT_NEAR(chol.emitter_outflow[v], cg.emitter_outflow[v], 1e-8);
-  }
-  for (std::size_t l = 0; l < net.num_links(); ++l) {
-    EXPECT_NEAR(chol.flow[l], cg.flow[l], 1e-8) << net.name() << " flow on link " << l;
+  for (const LinearSolver other : {LinearSolver::kConjugateGradient, LinearSolver::kIc0Cg}) {
+    const auto iter = solve_with(net, other);
+    ASSERT_TRUE(iter.converged);
+    for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+      EXPECT_NEAR(chol.head[v], iter.head[v], 1e-8) << net.name() << " head at node " << v;
+      EXPECT_NEAR(chol.pressure[v], iter.pressure[v], 1e-8);
+      EXPECT_NEAR(chol.emitter_outflow[v], iter.emitter_outflow[v], 1e-8);
+    }
+    for (std::size_t l = 0; l < net.num_links(); ++l) {
+      EXPECT_NEAR(chol.flow[l], iter.flow[l], 1e-8) << net.name() << " flow on link " << l;
+    }
   }
 }
 
@@ -247,6 +271,54 @@ TEST(GgaSolver, CgInnerSolverStillWorksBehindOption) {
   const auto state = solver.solve_snapshot();
   ASSERT_TRUE(state.converged);
   EXPECT_NEAR(state.flow[0], 0.020, 1e-6);
+}
+
+TEST(GgaSolver, ProbeOutflowResponseMatchesFiniteDifference) {
+  // The linearized probe (one factorization, blocked RHS) must agree with
+  // the finite-difference response of the full nonlinear solver to a small
+  // extra outflow at each probe node, to first order.
+  const auto net = networks::make_epa_net();
+  SolverOptions options;
+  options.accuracy = 1e-10;
+  options.max_iterations = 2000;
+  GgaSolver solver(net, options);
+  const auto base = solver.solve_snapshot();
+  ASSERT_TRUE(base.converged);
+
+  const auto junctions = net.junction_ids();
+  const std::vector<NodeId> probes = {junctions[3], junctions[17], junctions[44]};
+  std::vector<double> head_response, flow_response;
+  solver.probe_outflow_response(base, probes, head_response, &flow_response);
+  ASSERT_EQ(head_response.size(), probes.size() * net.num_nodes());
+  ASSERT_EQ(flow_response.size(), probes.size() * net.num_links());
+
+  const std::size_t n = net.num_nodes();
+  std::vector<double> demands(n, 0.0), fixed(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& node = net.node(v);
+    demands[v] = net.demand_at(v, 0);
+    if (node.type == NodeType::kReservoir) fixed[v] = node.elevation;
+    if (node.type == NodeType::kTank) fixed[v] = node.elevation + node.init_level;
+  }
+  const double eps = 2e-5;  // 0.02 l/s perturbation
+  for (std::size_t k = 0; k < probes.size(); ++k) {
+    auto perturbed = demands;
+    perturbed[probes[k]] += eps;
+    const auto bumped = solver.solve(perturbed, fixed, &base);
+    ASSERT_TRUE(bumped.converged);
+    // Mixed tolerance: the finite difference itself carries O(eps)
+    // truncation error proportional to the response magnitude.
+    for (NodeId v = 0; v < n; ++v) {
+      const double fd = (bumped.head[v] - base.head[v]) / eps;
+      EXPECT_NEAR(head_response[k * n + v], fd, 2e-3 * std::max(1.0, std::abs(fd)))
+          << "probe " << k << " head response at node " << v;
+    }
+    for (LinkId l = 0; l < net.num_links(); ++l) {
+      const double fd = (bumped.flow[l] - base.flow[l]) / eps;
+      EXPECT_NEAR(flow_response[k * net.num_links() + l], fd, 2e-3 * std::max(1.0, std::abs(fd)))
+          << "probe " << k << " flow response on link " << l;
+    }
+  }
 }
 
 TEST(GgaSolver, TotalEmitterOutflowSums) {
