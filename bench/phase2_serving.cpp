@@ -1,0 +1,470 @@
+// Multi-district serving under mixed traffic: N district shards (mixed
+// EPA-NET / WSSC models, skewed load) behind serving::ServingDaemon, driven
+// by a deterministic open-loop generator (seeded exponential arrivals).
+// Four measured phases:
+//
+//   baseline  single-district, no queue: the district engines run the same
+//             request mix as direct infer_batch calls at the same batch
+//             size — the sharding/queueing overhead is measured against
+//             this, not assumed.
+//   saturated every request submitted as fast as possible; aggregate
+//             daemon throughput vs the baseline (acceptance: >= 0.9x at
+//             equal core count).
+//   paced     open-loop arrivals at a fraction of measured capacity while
+//             a publisher thread hot-swaps every district's model from an
+//             mmapped AQUAMODL artifact (io::open_artifact). Reports
+//             end-to-end p50/p95/p99 queue+inference latency, throughput,
+//             shed rate; every result is verified bit-identical to the
+//             sequential reference (the artifact round-trips the model
+//             bit-exactly, so results must not depend on which bundle
+//             served them) and zero requests may be dropped.
+//   overload  offered load ~3x capacity into small queues; admission
+//             control sheds oldest and the bench reports the shed rate.
+//
+// Env knobs: AQUA_DISTRICTS (default 4), AQUA_SCALE (corpus sizes).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/experiment.hpp"
+#include "core/inference_engine.hpp"
+#include "networks/builtin.hpp"
+#include "serving/daemon.hpp"
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::serving;
+
+namespace {
+
+double now_seconds() { return telemetry::monotonic_seconds(); }
+
+std::size_t districts_from_env() {
+  const char* env = std::getenv("AQUA_DISTRICTS");
+  if (env == nullptr) return 4;
+  const long value = std::strtol(env, nullptr, 10);
+  return value >= 1 ? static_cast<std::size_t>(value) : 4;
+}
+
+/// One network kind's serving assets: trained profile, request pool, and
+/// per-request sequential reference results.
+struct NetworkAssets {
+  std::string kind;  // "epa" | "wssc"
+  std::shared_ptr<const ProfileModel> profile;
+  std::vector<InferenceInputs> pool;
+  std::vector<InferenceResult> reference;
+  std::string artifact_path;  // saved AQUAMODL file for hot-swap loads
+};
+
+/// Same realistic batch construction as bench_phase2_inference: per-test-
+/// scenario features with noise, frozen masks below freezing, and
+/// tweet-derived cliques — snapshot + weather + tweet events.
+std::vector<InferenceInputs> build_pool(ExperimentContext& context, const ProfileModel& profile,
+                                        const EvalOptions& options) {
+  fusion::TweetGenerator tweet_generator(options.tweets);
+  const auto& scenarios = context.test_scenarios();
+  const std::size_t elapsed = context.config().elapsed_slots[options.elapsed_index];
+  Rng root(context.config().seed ^ 0x9999ULL);
+
+  std::vector<InferenceInputs> pool(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    Rng rng = root.split();
+    InferenceInputs& inputs = pool[i];
+    inputs.features = context.test_batch().features(i, profile.sensors, options.elapsed_index,
+                                                    profile.noise, rng,
+                                                    profile.include_time_feature);
+    inputs.entropy_threshold = options.entropy_threshold;
+    if (scenarios[i].temperature_f < fusion::kFreezeThresholdF) {
+      inputs.frozen = scenarios[i].frozen;
+    }
+    std::vector<hydraulics::NodeId> leak_nodes;
+    for (const auto& event : scenarios[i].events) leak_nodes.push_back(event.node);
+    const auto tweets = tweet_generator.generate(context.network(), leak_nodes, elapsed, rng);
+    inputs.cliques = to_label_cliques(tweet_generator.build_cliques(context.network(), tweets),
+                                      context.labels());
+  }
+  return pool;
+}
+
+NetworkAssets make_assets(const hydraulics::Network& net, std::size_t train_samples,
+                          std::size_t test_samples, const std::string& kind) {
+  ExperimentConfig config;
+  config.train_samples = bench::scaled(train_samples);
+  config.test_samples = bench::scaled(test_samples);
+  config.scenarios.max_events = 2;
+  config.seed = 2024;
+  ExperimentContext context(net, config);
+
+  EvalOptions options;
+  options.kind = ModelKind::kHybridRsl;
+
+  NetworkAssets assets;
+  assets.kind = kind;
+  assets.profile = std::make_shared<const ProfileModel>(context.train(options));
+  assets.pool = build_pool(context, *assets.profile, options);
+  const InferenceEngine reference_engine(*assets.profile);
+  assets.reference.reserve(assets.pool.size());
+  for (const auto& inputs : assets.pool) {
+    assets.reference.push_back(reference_engine.infer(inputs));
+  }
+  assets.artifact_path = "phase2_serving_" + kind + ".aquamodl";
+  assets.profile->save_file(assets.artifact_path);
+  return assets;
+}
+
+bool identical(const InferenceResult& a, const InferenceResult& b) {
+  return a.beliefs.p_leak == b.beliefs.p_leak && a.predicted == b.predicted &&
+         a.predicted_iot_only == b.predicted_iot_only &&
+         a.weather_updates == b.weather_updates &&
+         a.tuning.added_labels == b.tuning.added_labels &&
+         a.energy_before == b.energy_before && a.energy_after == b.energy_after;
+}
+
+/// Shared sink state, switched per phase. Latency samples are recorded
+/// under a mutex (fine at bench rates); identity checks run against the
+/// per-district reference pool when `verify` is on.
+struct SinkState {
+  struct DistrictRef {
+    const NetworkAssets* assets = nullptr;
+  };
+  std::vector<DistrictRef> districts;
+  std::atomic<bool> verify{false};
+  std::atomic<bool> record{false};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::mutex mutex;
+  std::vector<double> e2e_seconds;    // complete - scheduled event time
+  std::vector<double> queue_seconds;  // admission -> dequeue
+
+  void reset_samples() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    e2e_seconds.clear();
+    queue_seconds.clear();
+  }
+};
+
+struct DeterministicSchedule {
+  std::vector<std::size_t> district;  // per arrival
+  std::vector<double> offset_seconds;  // arrival time offsets (paced phases)
+};
+
+/// Seeded mixed-district schedule: district picked by skewed weights
+/// (district d gets weight 1/(d+1) — a heavy head and a long tail),
+/// interarrivals exponential at `rate` (0 = saturated, no offsets).
+DeterministicSchedule make_schedule(std::size_t arrivals, std::size_t num_districts, double rate,
+                                    std::uint64_t seed) {
+  std::vector<double> weights(num_districts);
+  for (std::size_t d = 0; d < num_districts; ++d) weights[d] = 1.0 / static_cast<double>(d + 1);
+  Rng rng(seed);
+  DeterministicSchedule schedule;
+  schedule.district.reserve(arrivals);
+  double t = 0.0;
+  for (std::size_t i = 0; i < arrivals; ++i) {
+    schedule.district.push_back(rng.weighted_index(weights));
+    if (rate > 0.0) {
+      t += rng.exponential(rate);
+      schedule.offset_seconds.push_back(t);
+    }
+  }
+  return schedule;
+}
+
+struct PhaseTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+};
+
+PhaseTotals totals_delta(const ServingDaemon& daemon, const PhaseTotals& before) {
+  PhaseTotals totals;
+  for (std::size_t d = 0; d < daemon.num_districts(); ++d) {
+    totals.submitted += daemon.submitted_count(d);
+    totals.served += daemon.served_count(d);
+    totals.shed += daemon.shed_count(d);
+  }
+  totals.submitted -= before.submitted;
+  totals.served -= before.served;
+  totals.shed -= before.shed;
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Phase II multi-district serving",
+                "sharded daemon vs single-district no-queue engine baseline");
+  bench::Metrics metrics;
+
+  const std::size_t num_districts = districts_from_env();
+  const std::size_t cores = std::max<std::size_t>(1, ThreadPool::global().size());
+  std::printf("districts=%zu, pool threads=%zu\n\n", num_districts, cores);
+
+  // Phase 0a: train one profile per network kind (several districts of the
+  // same kind share the profile; each district gets its own engine).
+  std::vector<NetworkAssets> assets;
+  assets.push_back(make_assets(networks::make_epa_net(), 256, 128, "epa"));
+  assets.push_back(make_assets(networks::make_wssc_subnet(), 96, 48, "wssc"));
+
+  // Phase 0b: single-district no-queue baseline at the daemon's batch
+  // size, per network kind. This is the same measurement as the "batched
+  // engine" row of BENCH_phase2_inference, re-run here so the comparison
+  // is same-process, same-core-count.
+  constexpr std::size_t kMaxBatch = 32;
+  constexpr std::size_t kSaturatedArrivals = 4096;
+  const DeterministicSchedule saturated =
+      make_schedule(kSaturatedArrivals, num_districts, 0.0, 0xBEEF);
+
+  // Count how many requests each network kind receives under the skewed
+  // schedule, then run exactly that many through a bare engine.
+  std::vector<std::size_t> per_district_count(num_districts, 0);
+  for (const std::size_t d : saturated.district) per_district_count[d]++;
+  double baseline_wall = 0.0;
+  for (std::size_t a = 0; a < assets.size(); ++a) {
+    std::size_t kind_requests = 0;
+    for (std::size_t d = 0; d < num_districts; ++d) {
+      if (d % assets.size() == a) kind_requests += per_district_count[d];
+    }
+    const InferenceEngine engine(*assets[a].profile);
+    std::vector<InferenceInputs> batch;
+    batch.reserve(kMaxBatch);
+    const double start = now_seconds();
+    for (std::size_t i = 0; i < kind_requests; i += kMaxBatch) {
+      const std::size_t count = std::min(kMaxBatch, kind_requests - i);
+      batch.clear();
+      for (std::size_t j = 0; j < count; ++j) {
+        batch.push_back(assets[a].pool[(i + j) % assets[a].pool.size()]);
+      }
+      const auto results = engine.infer_batch(batch);
+      (void)results;
+    }
+    const double wall = now_seconds() - start;
+    baseline_wall += wall;
+    const double rate = wall > 0.0 ? static_cast<double>(kind_requests) / wall : 0.0;
+    std::printf("baseline %-4s: %6zu snapshots, %8.1f snapshots/s (no queue, batch %zu)\n",
+                assets[a].kind.c_str(), kind_requests, rate, kMaxBatch);
+    metrics.emplace_back("baseline." + assets[a].kind + ".snapshots_per_s", rate);
+  }
+  const double baseline_rate =
+      baseline_wall > 0.0 ? static_cast<double>(kSaturatedArrivals) / baseline_wall : 0.0;
+  metrics.emplace_back("baseline.aggregate_snapshots_per_s", baseline_rate);
+
+  // Daemon setup: districts alternate network kinds; initial bundles are
+  // versioned 1. One engine per district over the shared global pool.
+  SinkState sink_state;
+  sink_state.districts.resize(num_districts);
+  std::vector<DistrictConfig> configs(num_districts);
+  for (std::size_t d = 0; d < num_districts; ++d) {
+    const NetworkAssets& a = assets[d % assets.size()];
+    sink_state.districts[d].assets = &a;
+    configs[d].name = a.kind + std::to_string(d);
+    configs[d].model = std::make_shared<ModelBundle>(a.profile, 1);
+    configs[d].queue_capacity = 8192;  // saturated phase must not shed
+    configs[d].max_batch = kMaxBatch;
+  }
+
+  ResultSink sink = [&](const ResultEvent& event, const InferenceResult& result) {
+    const NetworkAssets& a = *sink_state.districts[event.district].assets;
+    if (sink_state.verify.load(std::memory_order_relaxed)) {
+      const auto& want = a.reference[event.sequence % a.pool.size()];
+      if (!identical(result, want)) {
+        sink_state.mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (sink_state.record.load(std::memory_order_relaxed)) {
+      const std::lock_guard<std::mutex> lock(sink_state.mutex);
+      sink_state.e2e_seconds.push_back(event.complete_seconds - event.event_seconds);
+      sink_state.queue_seconds.push_back(event.queue_seconds);
+    }
+  };
+
+  ServingDaemonOptions options;
+  options.num_workers = cores;
+  ServingDaemon daemon(configs, options, sink);
+
+  // Per-district submission cursors: sequence k of district d always
+  // carries pool[k % pool] so the sink can index the reference directly.
+  std::vector<std::uint64_t> cursor(num_districts, 0);
+  auto submit_next = [&](std::size_t d, double event_seconds) {
+    const NetworkAssets& a = *sink_state.districts[d].assets;
+    daemon.submit(d, a.pool[cursor[d]++ % a.pool.size()], event_seconds);
+  };
+
+  // --- Phase 1: saturated throughput (verification on, no latency
+  // recording — scheduled time is meaningless when submitting in a burst).
+  sink_state.verify.store(true);
+  PhaseTotals before = totals_delta(daemon, {});
+  const double saturated_start = now_seconds();
+  for (const std::size_t d : saturated.district) submit_next(d, 0.0);
+  daemon.drain();
+  const double saturated_wall = now_seconds() - saturated_start;
+  const PhaseTotals sat = totals_delta(daemon, before);
+  const double daemon_rate =
+      saturated_wall > 0.0 ? static_cast<double>(sat.served) / saturated_wall : 0.0;
+  const double ratio = baseline_rate > 0.0 ? daemon_rate / baseline_rate : 0.0;
+  std::printf("\nsaturated: %llu snapshots in %.3f s -> %8.1f snapshots/s "
+              "(%.2fx of no-queue baseline), shed %llu\n",
+              static_cast<unsigned long long>(sat.served), saturated_wall, daemon_rate, ratio,
+              static_cast<unsigned long long>(sat.shed));
+  metrics.emplace_back("saturated.snapshots", static_cast<double>(sat.served));
+  metrics.emplace_back("saturated.wall_s", saturated_wall);
+  metrics.emplace_back("saturated.aggregate_snapshots_per_s", daemon_rate);
+  metrics.emplace_back("saturated.throughput_ratio_vs_baseline", ratio);
+  metrics.emplace_back("saturated.shed", static_cast<double>(sat.shed));
+
+  // --- Phase 2: paced open-loop traffic + hot swaps under load. Arrivals
+  // at ~50% of measured capacity; a publisher thread keeps loading the
+  // mmapped artifact and swapping districts round-robin the whole time.
+  const double paced_rate = std::max(200.0, 0.5 * daemon_rate);
+  const std::size_t paced_arrivals =
+      std::max<std::size_t>(512, static_cast<std::size_t>(std::min(4096.0, paced_rate)));
+  const DeterministicSchedule paced =
+      make_schedule(paced_arrivals, num_districts, paced_rate, 0xF00D);
+
+  sink_state.reset_samples();
+  sink_state.record.store(true);
+  before = totals_delta(daemon, {});
+
+  std::atomic<bool> publishing{true};
+  std::atomic<std::uint64_t> swaps{0};
+  std::atomic<std::uint64_t> mmap_loads{0};
+  std::thread publisher([&] {
+    std::uint64_t version = 2;
+    std::size_t target = 0;
+    while (publishing.load()) {
+      const NetworkAssets& a = *sink_state.districts[target].assets;
+      bool used_mmap = false;
+      // The off-hot-path half of the swap: open (mmap), decode, build the
+      // engine — only the final pointer publish touches the daemon.
+      const auto bundle = load_bundle(a.artifact_path, version, {}, &used_mmap);
+      if (used_mmap) mmap_loads.fetch_add(1);
+      daemon.swap_model(target, bundle);
+      swaps.fetch_add(1);
+      target = (target + 1) % num_districts;
+      ++version;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  const auto paced_epoch = std::chrono::steady_clock::now();
+  const double paced_epoch_seconds = now_seconds();
+  for (std::size_t i = 0; i < paced_arrivals; ++i) {
+    std::this_thread::sleep_until(
+        paced_epoch + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(paced.offset_seconds[i])));
+    submit_next(paced.district[i], paced_epoch_seconds + paced.offset_seconds[i]);
+  }
+  daemon.drain();
+  const double paced_wall = now_seconds() - paced_epoch_seconds;
+  publishing.store(false);
+  publisher.join();
+  sink_state.record.store(false);
+  const PhaseTotals pac = totals_delta(daemon, before);
+
+  std::vector<double> e2e, queue_wait;
+  {
+    const std::lock_guard<std::mutex> lock(sink_state.mutex);
+    e2e = sink_state.e2e_seconds;
+    queue_wait = sink_state.queue_seconds;
+  }
+  const double paced_throughput =
+      paced_wall > 0.0 ? static_cast<double>(pac.served) / paced_wall : 0.0;
+  const double paced_shed_rate =
+      pac.submitted > 0 ? static_cast<double>(pac.shed) / static_cast<double>(pac.submitted) : 0.0;
+
+  std::printf("\npaced open-loop @ %.0f/s with hot swaps every 20 ms:\n", paced_rate);
+  Table table({"metric", "p50 [ms]", "p95 [ms]", "p99 [ms]"});
+  table.add_row({"end-to-end latency", Table::num(1e3 * percentile(e2e, 50.0), 3),
+                 Table::num(1e3 * percentile(e2e, 95.0), 3),
+                 Table::num(1e3 * percentile(e2e, 99.0), 3)});
+  table.add_row({"queue wait", Table::num(1e3 * percentile(queue_wait, 50.0), 3),
+                 Table::num(1e3 * percentile(queue_wait, 95.0), 3),
+                 Table::num(1e3 * percentile(queue_wait, 99.0), 3)});
+  table.print();
+  std::printf("served %llu/%llu (shed rate %.4f) at %.1f snapshots/s; "
+              "%llu swaps (%llu via mmap), %llu result mismatches\n",
+              static_cast<unsigned long long>(pac.served),
+              static_cast<unsigned long long>(pac.submitted), paced_shed_rate, paced_throughput,
+              static_cast<unsigned long long>(swaps.load()),
+              static_cast<unsigned long long>(mmap_loads.load()),
+              static_cast<unsigned long long>(sink_state.mismatches.load()));
+
+  metrics.emplace_back("paced.offered_rate_per_s", paced_rate);
+  metrics.emplace_back("paced.snapshots", static_cast<double>(pac.served));
+  metrics.emplace_back("paced.throughput_snapshots_per_s", paced_throughput);
+  metrics.emplace_back("paced.e2e_p50_ms", 1e3 * percentile(e2e, 50.0));
+  metrics.emplace_back("paced.e2e_p95_ms", 1e3 * percentile(e2e, 95.0));
+  metrics.emplace_back("paced.e2e_p99_ms", 1e3 * percentile(e2e, 99.0));
+  metrics.emplace_back("paced.queue_p50_ms", 1e3 * percentile(queue_wait, 50.0));
+  metrics.emplace_back("paced.queue_p95_ms", 1e3 * percentile(queue_wait, 95.0));
+  metrics.emplace_back("paced.queue_p99_ms", 1e3 * percentile(queue_wait, 99.0));
+  metrics.emplace_back("paced.shed_rate", paced_shed_rate);
+  metrics.emplace_back("swap.count", static_cast<double>(swaps.load()));
+  metrics.emplace_back("swap.mmap_loads", static_cast<double>(mmap_loads.load()));
+  metrics.emplace_back("swap.zero_dropped",
+                       pac.submitted == pac.served + pac.shed && pac.shed == 0 ? 1.0 : 0.0);
+
+  // --- Phase 3: overload. Rebuild nothing — resubmit the saturated
+  // schedule into the same daemon but throttle consumption by pausing
+  // between bursts is nondeterministic; instead offer ~3x capacity in a
+  // burst against per-district queues the daemon cannot drain in time.
+  // With 8192-deep queues the saturated phase absorbed everything, so
+  // shrink the offered burst to target the queues' shed behavior via a
+  // second, small-capacity daemon sharing the same bundles.
+  std::vector<DistrictConfig> overload_configs = configs;
+  for (auto& config : overload_configs) {
+    config.queue_capacity = 64;
+    config.name = "ov_" + config.name;
+  }
+  std::atomic<std::uint64_t> overload_served{0};
+  ServingDaemonOptions overload_options;
+  overload_options.num_workers = cores;
+  overload_options.paused = true;  // build the backlog deterministically
+  ServingDaemon overload_daemon(
+      overload_configs, overload_options,
+      [&](const ResultEvent&, const InferenceResult&) { overload_served.fetch_add(1); });
+  const DeterministicSchedule overload =
+      make_schedule(2048, num_districts, 0.0, 0xCAFE);
+  std::vector<std::uint64_t> overload_cursor(num_districts, 0);
+  for (const std::size_t d : overload.district) {
+    const NetworkAssets& a = *sink_state.districts[d].assets;
+    overload_daemon.submit(d, a.pool[overload_cursor[d]++ % a.pool.size()], 0.0);
+  }
+  overload_daemon.resume();
+  overload_daemon.drain();
+  const PhaseTotals ov = totals_delta(overload_daemon, {});
+  const double overload_shed_rate =
+      ov.submitted > 0 ? static_cast<double>(ov.shed) / static_cast<double>(ov.submitted) : 0.0;
+  std::printf("\noverload burst: offered %llu into capacity-64 queues -> served %llu, "
+              "shed %llu (rate %.3f)\n",
+              static_cast<unsigned long long>(ov.submitted),
+              static_cast<unsigned long long>(ov.served),
+              static_cast<unsigned long long>(ov.shed), overload_shed_rate);
+  metrics.emplace_back("overload.offered", static_cast<double>(ov.submitted));
+  metrics.emplace_back("overload.served", static_cast<double>(ov.served));
+  metrics.emplace_back("overload.shed", static_cast<double>(ov.shed));
+  metrics.emplace_back("overload.shed_rate", overload_shed_rate);
+
+  // Verification verdicts + per-district telemetry export.
+  const bool bit_identical = sink_state.mismatches.load() == 0;
+  std::printf("\nbit-identical across all phases and swaps: %s\n", bit_identical ? "yes" : "NO");
+  if (!bit_identical) {
+    std::fprintf(stderr, "DAEMON RESULTS DIVERGE FROM SEQUENTIAL REFERENCE\n");
+  }
+  metrics.emplace_back("districts", static_cast<double>(num_districts));
+  metrics.emplace_back("bit_identical", bit_identical ? 1.0 : 0.0);
+  for (const auto& [name, value] : daemon.metrics()) metrics.emplace_back(name, value);
+
+  for (const auto& a : assets) std::remove(a.artifact_path.c_str());
+  bench::json_report("phase2_serving", metrics);
+  return bit_identical ? 0 : 1;
+}

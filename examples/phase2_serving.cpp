@@ -1,19 +1,29 @@
-// phase2_serving — the online half of AquaSCALE as a serving loop: train a
-// profile (or start from a fixed-seed corpus), then push batches of live
-// snapshots through core::InferenceEngine and print the per-stage telemetry
-// a service operator would watch (stage seconds/calls, snapshots served,
-// weather updates applied, labels force-added by human tuning).
+// phase2_serving — the online half of AquaSCALE as an operator would run
+// it: train per-district profiles (or start from a fixed-seed corpus),
+// host them in a serving::ServingDaemon (one shard per district, bounded
+// ingest queues, hot-swappable models), stream live snapshots through it,
+// and print the per-district telemetry a service operator would watch
+// (queue/infer stage seconds, snapshots served/shed, model versions).
 //
-//   phase2_serving <epa|wssc> [batches] [batch_size] [kind]
+//   phase2_serving <epa|wssc|mixed> [batches] [batch_size] [kind]
+//
+// `mixed` hosts one EPA-NET and one WSSC district in the same daemon —
+// the multi-tenant deployment DESIGN.md §13 describes. Along the way the
+// example demonstrates an RCU-style hot swap: the model is saved to an
+// AQUAMODL artifact, reloaded through the zero-copy mmap reader, and
+// swapped in mid-stream without dropping a request.
 //
 // kinds: LinearR LogisticR GB RF SVM HybridRSL (default HybridRSL)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/aquascale.hpp"
 #include "core/inference_engine.hpp"
+#include "serving/daemon.hpp"
 
 using namespace aqua;
 using namespace aqua::core;
@@ -21,7 +31,7 @@ using namespace aqua::core;
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: phase2_serving <epa|wssc> [batches] [batch_size] [kind]\n");
+  std::fprintf(stderr, "usage: phase2_serving <epa|wssc|mixed> [batches] [batch_size] [kind]\n");
   return 2;
 }
 
@@ -30,6 +40,58 @@ ModelKind parse_kind(const std::string& name) {
     if (model_kind_name(kind) == name) return kind;
   }
   throw InvalidArgument("unknown model kind: " + name);
+}
+
+/// One tenant: a trained district plus the context to synthesize its
+/// live snapshot stream. The network lives behind a unique_ptr because
+/// ExperimentContext keeps a reference to it — the address must survive
+/// the District being moved into the tenants vector.
+struct District {
+  std::string name;
+  std::unique_ptr<hydraulics::Network> net;
+  std::unique_ptr<ExperimentContext> context;  // references *net
+  std::shared_ptr<const ProfileModel> profile;
+  std::unique_ptr<fusion::TweetGenerator> tweets;
+  Rng root{0};
+};
+
+District make_district(const std::string& name, hydraulics::Network net,
+                       const EvalOptions& options, std::size_t serve_scenarios) {
+  District district;
+  district.name = name;
+  district.net = std::make_unique<hydraulics::Network>(std::move(net));
+  ExperimentConfig config;
+  config.train_samples = 200;
+  config.test_samples = serve_scenarios;
+  config.seed = 7331;
+  std::printf("[%s] simulating %zu train + %zu serve scenarios...\n", name.c_str(),
+              config.train_samples, config.test_samples);
+  district.context = std::make_unique<ExperimentContext>(*district.net, config);
+  district.profile = std::make_shared<const ProfileModel>(district.context->train(options));
+  std::printf("[%s] profile: %s, %zu labels, trained in %.2f s\n", name.c_str(),
+              model_kind_name(district.profile->kind).c_str(),
+              district.profile->model.num_labels(), district.profile->train_seconds);
+  district.tweets = std::make_unique<fusion::TweetGenerator>(options.tweets);
+  district.root = Rng(config.seed ^ 0x9999ULL);
+  return district;
+}
+
+InferenceInputs make_inputs(District& district, std::size_t scenario) {
+  const ExperimentContext& context = *district.context;
+  const ProfileModel& profile = *district.profile;
+  Rng rng = district.root.split();
+  InferenceInputs inputs;
+  inputs.features = context.test_batch().features(scenario, profile.sensors, 0, profile.noise,
+                                                  rng, profile.include_time_feature);
+  const auto& s = context.test_scenarios()[scenario];
+  if (s.temperature_f < fusion::kFreezeThresholdF) inputs.frozen = s.frozen;
+  std::vector<hydraulics::NodeId> leak_nodes;
+  for (const auto& event : s.events) leak_nodes.push_back(event.node);
+  const auto generated = district.tweets->generate(context.network(), leak_nodes, 1, rng);
+  inputs.cliques =
+      to_label_cliques(district.tweets->build_cliques(context.network(), generated),
+                       context.labels());
+  return inputs;
 }
 
 }  // namespace
@@ -41,60 +103,67 @@ int main(int argc, char** argv) {
   const std::size_t batch_size = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 32;
 
   try {
-    const hydraulics::Network net =
-        which == "epa" ? networks::make_epa_net()
-                       : which == "wssc" ? networks::make_wssc_subnet()
-                                         : throw InvalidArgument("unknown network: " + which);
-
     EvalOptions options;
     options.kind = argc > 4 ? parse_kind(argv[4]) : ModelKind::kHybridRsl;
+    const std::size_t serve_scenarios = batches * batch_size;
 
-    ExperimentConfig config;
-    config.train_samples = 200;
-    config.test_samples = batches * batch_size;
-    config.seed = 7331;
-    std::printf("simulating %zu train + %zu serve scenarios on %s...\n", config.train_samples,
-                config.test_samples, net.name().c_str());
-    ExperimentContext context(net, config);
-    const ProfileModel profile = context.train(options);
-    std::printf("profile: %s, %zu labels, trained in %.2f s (shared input map: %s)\n",
-                model_kind_name(profile.kind).c_str(), profile.model.num_labels(),
-                profile.train_seconds, profile.model.has_shared_input_map() ? "yes" : "no");
+    std::vector<District> tenants;
+    if (which == "epa" || which == "mixed") {
+      tenants.push_back(make_district("epa", networks::make_epa_net(), options, serve_scenarios));
+    }
+    if (which == "wssc" || which == "mixed") {
+      tenants.push_back(
+          make_district("wssc", networks::make_wssc_subnet(), options, serve_scenarios));
+    }
+    if (tenants.empty()) throw InvalidArgument("unknown network: " + which);
 
-    const InferenceEngine engine(profile);
-    fusion::TweetGenerator tweets(options.tweets);
-    Rng root(config.seed ^ 0x9999ULL);
+    // Host every tenant in one daemon.
+    std::atomic<std::size_t> leaks_flagged{0};
+    std::vector<serving::DistrictConfig> configs(tenants.size());
+    for (std::size_t d = 0; d < tenants.size(); ++d) {
+      configs[d].name = tenants[d].name;
+      configs[d].model = std::make_shared<serving::ModelBundle>(tenants[d].profile, 1);
+      configs[d].queue_capacity = serve_scenarios * 2;
+      configs[d].max_batch = batch_size;
+    }
+    serving::ServingDaemon daemon(
+        configs, {},
+        [&](const serving::ResultEvent&, const InferenceResult& result) {
+          std::size_t flags = 0;
+          for (const auto flag : result.predicted) flags += flag != 0;
+          leaks_flagged.fetch_add(flags, std::memory_order_relaxed);
+        });
 
-    std::size_t served = 0, leaks_flagged = 0;
+    // Stream the snapshots, round-robin across tenants, one batch at a
+    // time per district. Midway, hot-swap every district's model from a
+    // freshly written artifact (loaded via mmap) to show the RCU path.
     for (std::size_t b = 0; b < batches; ++b) {
-      std::vector<InferenceInputs> batch(batch_size);
-      for (std::size_t i = 0; i < batch_size; ++i) {
-        const std::size_t scenario = b * batch_size + i;
-        Rng rng = root.split();
-        InferenceInputs& inputs = batch[i];
-        inputs.features = context.test_batch().features(scenario, profile.sensors, 0,
-                                                        profile.noise, rng,
-                                                        profile.include_time_feature);
-        const auto& s = context.test_scenarios()[scenario];
-        if (s.temperature_f < fusion::kFreezeThresholdF) inputs.frozen = s.frozen;
-        std::vector<hydraulics::NodeId> leak_nodes;
-        for (const auto& event : s.events) leak_nodes.push_back(event.node);
-        const auto generated = tweets.generate(net, leak_nodes, 1, rng);
-        inputs.cliques = to_label_cliques(tweets.build_cliques(net, generated), context.labels());
+      if (b == batches / 2) {
+        for (std::size_t d = 0; d < tenants.size(); ++d) {
+          const std::string path = "phase2_serving_" + tenants[d].name + ".aquamodl";
+          tenants[d].profile->save_file(path);
+          bool used_mmap = false;
+          daemon.swap_model(d, serving::load_bundle(path, 2, {}, &used_mmap));
+          std::printf("[%s] hot-swapped to artifact model v2 (mmap: %s)\n",
+                      tenants[d].name.c_str(), used_mmap ? "yes" : "no");
+          std::remove(path.c_str());
+        }
       }
-      const auto results = engine.infer_batch(batch);
-      served += results.size();
-      for (const auto& r : results) {
-        for (const auto flag : r.predicted) leaks_flagged += flag != 0;
+      for (std::size_t d = 0; d < tenants.size(); ++d) {
+        for (std::size_t i = 0; i < batch_size; ++i) {
+          daemon.submit(d, make_inputs(tenants[d], b * batch_size + i));
+        }
       }
     }
+    daemon.drain();
 
-    const auto times = engine.telemetry_snapshot();
-    std::printf("\nserved %zu snapshots in %zu batches; %zu leak flags raised\n", served,
-                batches, leaks_flagged);
-    std::printf("%-28s %12s %10s\n", "telemetry", "value", "calls");
-    for (const auto& [name, value] : times.metrics()) {
-      std::printf("%-28s %12.6f\n", name.c_str(), value);
+    std::size_t served = 0;
+    for (std::size_t d = 0; d < tenants.size(); ++d) served += daemon.served_count(d);
+    std::printf("\nserved %zu snapshots across %zu district(s); %zu leak flags raised\n", served,
+                tenants.size(), leaks_flagged.load());
+    std::printf("%-40s %12s\n", "telemetry", "value");
+    for (const auto& [name, value] : daemon.metrics()) {
+      std::printf("%-40s %12.6f\n", name.c_str(), value);
     }
     return 0;
   } catch (const std::exception& error) {

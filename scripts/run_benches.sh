@@ -7,6 +7,8 @@
 #        e.g. scripts/run_benches.sh profile_fit phase1_training
 #        With no arguments, every bench_* binary in the build tree runs.
 #        AQUA_SCALE scales scenario counts (see bench/bench_util.hpp).
+#        AQUA_DISTRICTS sets the shard count for bench_phase2_serving
+#        (default 4 districts of alternating EPA-NET/WSSC traffic).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -5,8 +5,9 @@
 #   1. ASan+UBSan (cmake -DAQUA_SANITIZE=ON): the full suite, so the
 #      replay engine pool, the thread-pool batch paths, and the hostile
 #      .inp corpus (test_inp_io) get memory/UB checking routinely.
-#   2. TSan (cmake -DAQUA_TSAN=ON): the unit+concurrency labels, which
-#      include test_concurrency's shared-model / shared-engine races.
+#   2. TSan (cmake -DAQUA_TSAN=ON): the unit+concurrency+serving labels,
+#      which include test_concurrency's shared-model / shared-engine races
+#      and test_serving's daemon submit/swap/worker thread interleavings.
 #
 # Usage: scripts/sanitize_tests.sh [asan-build-dir] [tsan-build-dir]
 #        (defaults: build-asan build-tsan)
@@ -24,4 +25,4 @@ ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
 echo "== pass 2/2: TSan (${TSAN_DIR}) =="
 cmake -B "$TSAN_DIR" -S . -DAQUA_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)"
-ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" -L "unit|concurrency"
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" -L "unit|concurrency|serving"

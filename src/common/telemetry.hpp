@@ -83,6 +83,22 @@ class ScopedStageTimer {
 
 /// Thread-safe aggregate of worker-local StageTimes. Workers call merge()
 /// once per chunk; readers take a consistent snapshot.
+///
+/// Concurrency contract (relied on by the serving daemon, which hits one
+/// Registry from ingest, batch-worker, model-swap, and export threads at
+/// once): every member — merge, add_seconds, add_count, snapshot, metrics,
+/// reset — may be called concurrently from any number of threads. All of
+/// them serialize on one internal mutex, so a snapshot()/metrics() is
+/// always a consistent point-in-time view (never a torn read of seconds
+/// updated but calls not), and concurrent increments are never lost: after
+/// all writers join, the totals equal the arithmetic sum of every recorded
+/// event. The schema (stage/counter names and arity) is fixed at
+/// construction and never mutated, so it needs no synchronization.
+///
+/// Recording granularity guidance: per-event add_count/add_seconds are
+/// fine for admission-rate paths (a couple of atomic-ish locked adds);
+/// per-snapshot hot loops should still batch into a worker-local
+/// StageTimes and merge() once per chunk.
 class Registry {
  public:
   explicit Registry(StageTimes schema) : total_(std::move(schema)) {}
@@ -92,9 +108,34 @@ class Registry {
     total_.merge(worker);
   }
 
+  /// Direct recording for low-rate events (admission, sheds, swaps) where
+  /// a worker-local accumulator would be overkill.
+  void add_seconds(std::size_t stage, double seconds, std::uint64_t calls = 1) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_.add_seconds(stage, seconds, calls);
+  }
+
+  void add_count(std::size_t counter, std::uint64_t n) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_.add_count(counter, n);
+  }
+
+  std::uint64_t count(std::size_t counter) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_.count(counter);
+  }
+
   StageTimes snapshot() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return total_;
+  }
+
+  /// Consistent flat metric pairs (see StageTimes::metrics); equivalent to
+  /// snapshot().metrics(prefix) without the intermediate copy being
+  /// visible to the caller.
+  std::vector<std::pair<std::string, double>> metrics(const std::string& prefix = "") const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_.metrics(prefix);
   }
 
   void reset() {

@@ -1,9 +1,11 @@
 #include "core/profile.hpp"
 
 #include <chrono>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "io/artifact.hpp"
+#include "io/mapped_artifact.hpp"
 #include "ml/gradient_boosting.hpp"
 #include "ml/hybrid_rsl.hpp"
 #include "ml/linear_models.hpp"
@@ -80,6 +82,10 @@ void ProfileModel::save(std::ostream& out) const {
 
 ProfileModel ProfileModel::load(std::istream& in) {
   const io::ArtifactReader artifact(in);
+  return load(artifact);
+}
+
+ProfileModel ProfileModel::load(const io::ArtifactSource& artifact) {
   ProfileModel profile;
 
   auto meta = artifact.section("profile");
@@ -105,6 +111,18 @@ ProfileModel ProfileModel::load(std::istream& in) {
   profile.model = ml::MultiLabelModel::load(model_reader);
   model_reader.expect_end();
   return profile;
+}
+
+void ProfileModel::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw io::SerializationError("cannot open '" + path + "' for writing");
+  save(out);
+  out.flush();
+  if (!out) throw io::SerializationError("write failed while saving artifact to '" + path + "'");
+}
+
+ProfileModel ProfileModel::load_file(const std::string& path) {
+  return load(*io::open_artifact(path));
 }
 
 ProfileModel train_profile(const SnapshotBatch& batch, std::span<const LeakScenario> scenarios,

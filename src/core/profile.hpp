@@ -12,6 +12,10 @@
 #include "ml/multilabel.hpp"
 #include "sensing/placement.hpp"
 
+namespace aqua::io {
+class ArtifactSource;
+}
+
 namespace aqua::core {
 
 enum class ModelKind {
@@ -53,6 +57,18 @@ struct ProfileModel {
   /// Restores a profile written by save(); throws io::SerializationError on
   /// truncated, corrupted, or wrong-version artifacts.
   static ProfileModel load(std::istream& in);
+
+  /// Decodes a profile from an already opened artifact (buffered or
+  /// mmapped — any io::ArtifactSource). This is the path the serving
+  /// daemon's publisher uses: open_artifact() + load() keeps the model
+  /// bytes on the page cache until each section is decoded.
+  static ProfileModel load(const io::ArtifactSource& artifact);
+
+  /// Convenience: save to / load from a filesystem path. load_file prefers
+  /// the zero-copy mmap reader and falls back to buffered I/O when the
+  /// file cannot be mapped (io::open_artifact).
+  void save_file(const std::string& path) const;
+  static ProfileModel load_file(const std::string& path);
 };
 
 struct ProfileTrainingConfig {

@@ -50,20 +50,41 @@ class ArtifactWriter {
   std::vector<std::unique_ptr<Section>> sections_;
 };
 
+/// Read-side abstraction over an opened AQUAMODL container. Two
+/// implementations exist: ArtifactReader (buffered: the whole file is
+/// copied into memory and every checksum is validated up front) and
+/// MappedArtifactReader (mapped_artifact.hpp: the file is mmapped and
+/// checksums are validated lazily on first section access). Decoders such
+/// as ProfileModel::load work against this interface so they are agnostic
+/// to how the bytes arrived.
+class ArtifactSource {
+ public:
+  virtual ~ArtifactSource() = default;
+
+  virtual std::uint32_t version() const noexcept = 0;
+  virtual bool has_section(const std::string& name) const = 0;
+
+  /// Reader over a section's payload; throws SerializationError if the
+  /// section is absent (or, for lazy implementations, fails validation).
+  /// The returned reader views memory owned by this source, which must
+  /// outlive it.
+  virtual BinaryReader section(const std::string& name) const = 0;
+};
+
 /// Parses a container fully into memory, validating structure and
 /// checksums up front; sections are then decoded on demand.
-class ArtifactReader {
+class ArtifactReader final : public ArtifactSource {
  public:
   /// Reads and validates the whole artifact; throws SerializationError on
   /// any structural problem.
   explicit ArtifactReader(std::istream& in);
 
-  std::uint32_t version() const noexcept { return version_; }
-  bool has_section(const std::string& name) const;
+  std::uint32_t version() const noexcept override { return version_; }
+  bool has_section(const std::string& name) const override;
 
   /// Reader over a section's payload; throws if the section is absent. The
   /// returned reader views memory owned by this ArtifactReader.
-  BinaryReader section(const std::string& name) const;
+  BinaryReader section(const std::string& name) const override;
 
  private:
   std::uint32_t version_ = 0;

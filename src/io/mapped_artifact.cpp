@@ -1,0 +1,166 @@
+#include "io/mapped_artifact.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace aqua::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'A', 'Q', 'U', 'A', 'M', 'O', 'D', 'L'};
+constexpr std::uint32_t kMaxSections = 1024;
+constexpr std::uint32_t kMaxSectionName = 256;
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw SerializationError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("cannot open artifact", path);
+
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot stat artifact", path);
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    throw SerializationError("cannot map empty artifact '" + path + "'");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping stays valid after close; the kernel holds the reference.
+  ::close(fd);
+  if (mapping == MAP_FAILED) throw_errno("cannot mmap artifact", path);
+
+  data_ = static_cast<const char*>(mapping);
+  size_ = size;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+MappedArtifactReader::MappedArtifactReader(const std::string& path) : path_(path), file_(path) {
+  // Structural pass over the mapping: magic, version, section table. This
+  // touches only the header pages; payload bytes stay untouched until a
+  // section is requested.
+  BinaryReader header(file_.view());
+  auto fail = [&](const std::string& what) -> SerializationError {
+    return SerializationError("truncated or malformed artifact '" + path_ + "': " + what);
+  };
+
+  if (file_.size() < kMagic.size() + 8) throw fail("shorter than the fixed header");
+  for (char expected : kMagic) {
+    if (static_cast<char>(header.read_u8()) != expected) {
+      throw SerializationError("not an AquaSCALE model artifact (bad magic): '" + path_ + "'");
+    }
+  }
+  version_ = header.read_u32();
+  const std::uint32_t count = header.read_u32();
+  if (version_ != kFormatVersion) {
+    throw SerializationError("unsupported artifact format version " + std::to_string(version_) +
+                             " (this build reads version " + std::to_string(kFormatVersion) +
+                             ") in '" + path_ + "'");
+  }
+  if (count > kMaxSections) throw fail("section count");
+
+  struct Entry {
+    std::string name;
+    std::uint64_t size;
+    std::uint32_t crc;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    try {
+      entry.name = header.read_string();
+      entry.size = header.read_u64();
+      entry.crc = header.read_u32();
+    } catch (const SerializationError&) {
+      throw fail("section table ends mid-entry");
+    }
+    if (entry.name.empty() || entry.name.size() > kMaxSectionName) {
+      throw fail("section name length");
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // Payloads follow the table in order. Every payload must lie entirely
+  // inside the mapping — a table pointing past EOF means the file was
+  // truncated after the header was written.
+  std::size_t offset = file_.size() - header.remaining();
+  for (const auto& entry : entries) {
+    if (entry.size > file_.size() - offset) {
+      throw fail("section '" + entry.name + "' extends past end of file");
+    }
+    Section section;
+    section.offset = offset;
+    section.size = static_cast<std::size_t>(entry.size);
+    section.crc = entry.crc;
+    if (!sections_.emplace(entry.name, section).second) {
+      throw fail("duplicate section '" + entry.name + "'");
+    }
+    offset += section.size;
+  }
+  if (offset != file_.size()) throw fail("trailing bytes after the last section");
+}
+
+bool MappedArtifactReader::has_section(const std::string& name) const {
+  return sections_.count(name) != 0;
+}
+
+BinaryReader MappedArtifactReader::section(const std::string& name) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    throw SerializationError("artifact is missing required section '" + name + "'");
+  }
+  const Section& section = it->second;
+  {
+    const std::lock_guard<std::mutex> lock(crc_mutex_);
+    if (!section.validated) {
+      if (crc32(payload_view(section)) != section.crc) {
+        throw SerializationError("checksum mismatch in artifact section '" + name +
+                                 "' (corrupted artifact '" + path_ + "')");
+      }
+      section.validated = true;
+    }
+  }
+  return BinaryReader(payload_view(section));
+}
+
+std::unique_ptr<ArtifactSource> open_artifact(const std::string& path, bool* used_mmap) {
+  if (used_mmap != nullptr) *used_mmap = false;
+  try {
+    auto mapped = std::make_unique<MappedArtifactReader>(path);
+    if (used_mmap != nullptr) *used_mmap = true;
+    return mapped;
+  } catch (const SerializationError&) {
+    // Either the environment refused the mapping or the structure is bad.
+    // Retry buffered: if the bytes really are malformed the ArtifactReader
+    // throws the same typed error; if only mmap failed, buffered succeeds.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw SerializationError("cannot open artifact '" + path + "' for buffered read");
+    }
+    return std::make_unique<ArtifactReader>(in);
+  }
+}
+
+}  // namespace aqua::io

@@ -1,0 +1,103 @@
+// Zero-copy artifact loading for the serving path. MappedArtifactReader
+// mmaps an AQUAMODL file, validates the header and section table eagerly
+// (structure is cheap: a few hundred bytes), and validates each section's
+// CRC-32 lazily on first access — a daemon hosting dozens of district
+// models pays the checksum cost only for the sections it actually decodes,
+// and the page cache, not a private heap copy, backs the payload bytes.
+// Section readers view the mapping directly, so the reader must outlive
+// every BinaryReader it hands out.
+//
+// open_artifact() is the daemon-facing entry point: it prefers the mapped
+// reader and falls back to the buffered ArtifactReader when mmap is
+// unavailable (exotic filesystems, zero-length mappings), so callers
+// always get an ArtifactSource or a typed SerializationError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "io/artifact.hpp"
+
+namespace aqua::io {
+
+/// RAII read-only memory mapping of a whole file. Throws
+/// SerializationError when the file cannot be opened, stat'ed, or mapped
+/// (callers treat that as "fall back to buffered I/O").
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  std::string_view view() const noexcept { return {data_, size_}; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// ArtifactSource over an mmapped AQUAMODL file. Construction parses and
+/// validates the header + section table (magic, version, name/size sanity,
+/// and that every payload lies inside the mapping — a table that points
+/// past EOF is a truncated artifact and throws immediately). Payload
+/// checksums are validated lazily: the first section(name) call CRCs that
+/// payload and caches the verdict, so repeated access is free and
+/// untouched sections are never read at all.
+///
+/// Thread-safety: section() and has_section() are safe to call
+/// concurrently from multiple threads (the lazy CRC cache is internally
+/// synchronized); the publisher thread of a serving daemon can decode
+/// sections while another thread enumerates them.
+class MappedArtifactReader final : public ArtifactSource {
+ public:
+  explicit MappedArtifactReader(const std::string& path);
+
+  std::uint32_t version() const noexcept override { return version_; }
+  bool has_section(const std::string& name) const override;
+
+  /// Reader viewing the mapped payload bytes directly (no copy). First
+  /// access validates the section's CRC-32 and throws SerializationError
+  /// on mismatch; subsequent accesses reuse the cached verdict.
+  BinaryReader section(const std::string& name) const override;
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t file_size() const noexcept { return file_.size(); }
+
+ private:
+  struct Section {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    std::uint32_t crc = 0;
+    // 0 = unvalidated, 1 = validated-ok. Guarded by crc_mutex_ (a failed
+    // CRC throws every time rather than caching a poisoned state).
+    mutable bool validated = false;
+  };
+
+  std::string_view payload_view(const Section& section) const noexcept {
+    return file_.view().substr(section.offset, section.size);
+  }
+
+  std::string path_;
+  MappedFile file_;
+  std::uint32_t version_ = 0;
+  std::map<std::string, Section> sections_;
+  mutable std::mutex crc_mutex_;
+};
+
+/// Opens an artifact for reading, preferring the mmap path. When the file
+/// exists but cannot be mapped, falls back to the buffered ArtifactReader
+/// transparently; structural corruption throws SerializationError from
+/// whichever path noticed it. `used_mmap`, when non-null, reports which
+/// implementation was chosen (benches and tests assert on it).
+std::unique_ptr<ArtifactSource> open_artifact(const std::string& path, bool* used_mmap = nullptr);
+
+}  // namespace aqua::io

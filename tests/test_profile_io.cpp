@@ -4,11 +4,14 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
 #include "io/artifact.hpp"
 #include "io/binary.hpp"
+#include "io/mapped_artifact.hpp"
 #include "networks/builtin.hpp"
 #include "sensing/placement.hpp"
 
@@ -106,6 +109,47 @@ void round_trip_all_kinds(bool wssc) {
 TEST(ProfileIo, RoundTripAllKindsEpaNet) { round_trip_all_kinds(false); }
 
 TEST(ProfileIo, RoundTripAllKindsWsscSubnet) { round_trip_all_kinds(true); }
+
+TEST(ProfileIo, MappedLoadBitIdenticalToBufferedOnAllKinds) {
+  // The zero-copy mmap reader must decode the same function as the
+  // buffered ArtifactReader for every classifier kind: same bytes in,
+  // bit-identical predictions out, on both paths.
+  const auto s = make_setup(false);
+  const std::string path = ::testing::TempDir() + "aqua_profile_mapped.aquamodl";
+  for (ModelKind kind : all_model_kinds()) {
+    SCOPED_TRACE(model_kind_name(kind));
+    const ProfileModel original = train_kind(*s, kind);
+    original.save_file(path);
+
+    const io::MappedArtifactReader mapped(path);
+    const ProfileModel via_mapped = ProfileModel::load(mapped);
+    expect_bit_identical(original, via_mapped, s->eval.features);
+
+    // And against the buffered reader over the identical file bytes.
+    std::ifstream in(path, std::ios::binary);
+    const ProfileModel via_buffered = ProfileModel::load(in);
+    expect_bit_identical(via_buffered, via_mapped, s->eval.features);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIo, LoadFileFallsBackWhenMmapIsImpossible) {
+  // open_artifact on a path that exists but cannot be mapped (here:
+  // /proc-style zero-length files are hard to fabricate portably, so we
+  // exercise the documented fallback trigger — an empty file — which the
+  // mapped reader refuses and the buffered reader then rejects as a typed
+  // error rather than a crash).
+  const std::string path = ::testing::TempDir() + "aqua_profile_empty.aquamodl";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  bool used_mmap = true;
+  EXPECT_THROW(
+      {
+        const auto source = io::open_artifact(path, &used_mmap);
+        (void)source;
+      },
+      io::SerializationError);
+  std::remove(path.c_str());
+}
 
 TEST(ProfileIo, StoreTrainedNonDefaultBinsRoundTrip) {
   // A shared-store-trained ensemble with a non-default bin budget must
