@@ -30,14 +30,18 @@ else
   mapfile -t benches < <(find . -maxdepth 1 -name 'bench_*' -type f | sort)
 fi
 
+# Run every bench even when one fails (a crashed bench must not mask the
+# others' reports), then propagate a nonzero exit naming the failures —
+# `set -e` alone would abort mid-loop on the first bad bench.
+failed=()
 for bench in "${benches[@]}"; do
   echo "== ${bench#./} =="
   if [[ "${bench#./}" == bench_micro_hydraulics ]]; then
     # Skip the google-benchmark micro suite (no BENCH json) and run only
     # the inner-solver comparison + backend node-count sweep.
-    "$bench" --benchmark_filter='^$'
+    "$bench" --benchmark_filter='^$' || failed+=("${bench#./}")
   else
-    "$bench"
+    "$bench" || failed+=("${bench#./}")
   fi
 done
 
@@ -47,3 +51,8 @@ for report in "$BUILD_DIR"/bench/BENCH_*.json; do
   cp "$report" .
   echo "collected $(basename "$report")"
 done
+
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "FAILED benches: ${failed[*]}" >&2
+  exit 1
+fi

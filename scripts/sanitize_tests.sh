@@ -3,11 +3,19 @@
 # build or test failure). Two passes in separate build dirs:
 #
 #   1. ASan+UBSan (cmake -DAQUA_SANITIZE=ON): the full suite, so the
-#      replay engine pool, the thread-pool batch paths, and the hostile
-#      .inp corpus (test_inp_io) get memory/UB checking routinely.
-#   2. TSan (cmake -DAQUA_TSAN=ON): the unit+concurrency+serving labels,
-#      which include test_concurrency's shared-model / shared-engine races
-#      and test_serving's daemon submit/swap/worker thread interleavings.
+#      replay engine pool, the thread-pool batch paths, the hostile
+#      .inp corpus (test_inp_io), and the compiled forest kernel's
+#      plane indexing (test_compiled_forest) get memory/UB checking
+#      routinely.
+#   2. TSan (cmake -DAQUA_TSAN=ON): the unit+concurrency+serving+kernel
+#      labels, which include test_concurrency's shared-model /
+#      shared-engine races, test_serving's daemon submit/swap/worker
+#      thread interleavings, and test_compiled_forest's concurrent tile
+#      calls on one shared compiled model. TSan builds compile the
+#      multiversioned SIMD kernels default-arch (common/cpu_dispatch.hpp):
+#      target_clones ifunc resolvers would otherwise run before the TSan
+#      runtime initializes and crash at startup; clones are bit-identical
+#      so only sanitized-build speed is lost.
 #
 # Usage: scripts/sanitize_tests.sh [asan-build-dir] [tsan-build-dir]
 #        (defaults: build-asan build-tsan)
@@ -25,4 +33,7 @@ ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
 echo "== pass 2/2: TSan (${TSAN_DIR}) =="
 cmake -B "$TSAN_DIR" -S . -DAQUA_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_DIR" -j "$(nproc)"
-ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" -L "unit|concurrency|serving"
+# scripts/tsan.supp silences libstdc++'s un-annotated atomic<shared_ptr>
+# internals (see the file for details); races in our own code still fail.
+TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" -L "unit|concurrency|serving|kernel"

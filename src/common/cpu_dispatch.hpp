@@ -1,0 +1,17 @@
+// Function-multiversioning dispatch for the hand-vectorized kernels.
+// AQUA_TARGET_CLONES compiles a function once per listed ISA and picks
+// the widest available unit at load time via an ifunc resolver. Under
+// ThreadSanitizer that resolver runs during relocation, before the TSan
+// runtime has initialized, and the interceptors it trips crash the
+// process at startup — so TSan builds compile the default-arch body
+// only. This costs nothing but speed in the sanitized build: every
+// kernel behind this macro is written order-preserving, so all clones
+// produce bit-identical results and the dispatch only selects wider
+// registers.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define AQUA_TARGET_CLONES
+#else
+#define AQUA_TARGET_CLONES __attribute__((target_clones("default", "avx2", "avx512f")))
+#endif

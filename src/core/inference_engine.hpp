@@ -57,6 +57,13 @@ class InferenceEngine {
 
   const ProfileModel& profile() const noexcept { return profile_; }
 
+  /// Aggregate compiled-forest statistics for the served profile (zero
+  /// report for tree-less kinds). Serving captures this once per bundle
+  /// load and exports it as forest.* metrics per district.
+  ml::ForestCompileReport forest_compile_report() const {
+    return profile_.model.forest_compile_report();
+  }
+
   /// Consistent snapshot of the per-stage telemetry accumulated by every
   /// infer/infer_batch call since construction (or the last reset).
   telemetry::StageTimes telemetry_snapshot() const { return registry_.snapshot(); }

@@ -21,6 +21,7 @@ class BinaryReader;
 namespace aqua::ml {
 
 class BinnedDataset;
+class CompiledForest;
 
 /// Reusable per-worker scratch for batched prediction. Holding the
 /// buffers outside the classifiers keeps every const prediction path
@@ -97,6 +98,36 @@ class BinaryClassifier {
   virtual double predict_proba_mapped(std::span<const double> mapped) const {
     return predict_proba(mapped);
   }
+
+  // --- Blocked tile protocol (compiled forest kernels) ----------------
+  //
+  // The batched predictors advance a small tile of snapshots through one
+  // classifier at a time, so tree-backed classifiers can run their
+  // compiled SoA traversal kernel (ml/compiled_forest.hpp) with node
+  // loads amortized across the tile. The default is the per-row loop, so
+  // classifier kinds without trees are a transparent fallback.
+
+  /// Rows per tile handed down by the batched predictors. Matches
+  /// CompiledForest::kTileRows (static_assert'd in compiled_forest.cpp).
+  static constexpr std::size_t kPredictTileRows = 8;
+
+  /// Tile variant of predict_proba_mapped: rows[0..count) point at mapped
+  /// inputs of identical layout and length `dim`; writes P(y=1 | rows[i])
+  /// to out[i * stride]. Every output is bitwise equal to the per-row
+  /// predict_proba_mapped. Batched callers never pass count >
+  /// kPredictTileRows, but overrides must handle any count.
+  virtual void predict_proba_mapped_tile(const double* const* rows, std::size_t count,
+                                         std::size_t dim, double* out,
+                                         std::size_t stride) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i * stride] = predict_proba_mapped(std::span<const double>(rows[i], dim));
+    }
+  }
+
+  /// The compiled SoA ensemble backing this classifier's tile path, or
+  /// nullptr for classifier kinds without trees (or whose ensemble is
+  /// unfitted / degenerate / uncompilable).
+  virtual const CompiledForest* compiled_forest() const { return nullptr; }
 
   // --- Shared-store fit protocol (batched training) -------------------
   //

@@ -1,0 +1,309 @@
+#include "ml/compiled_forest.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/cpu_dispatch.hpp"
+#include "common/error.hpp"
+#include "ml/classifier.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace aqua::ml {
+
+static_assert(BinaryClassifier::kPredictTileRows == CompiledForest::kTileRows,
+              "batched predictors and the compiled kernel must agree on the tile width");
+
+namespace {
+
+std::atomic<bool> g_compiled_forest_enabled{true};
+
+/// The flattened planes of one ensemble, passed by value into the kernel
+/// so every field lives in a register. The pointers are __restrict so the
+/// accumulator stores cannot force plane or row-pointer reloads (the
+/// planes are CompiledForest-owned and never overlap a caller's output).
+struct ForestPlanes {
+  const std::uint16_t* __restrict feature;
+  const double* __restrict threshold;
+  const std::int32_t* __restrict left;
+  const std::int32_t* __restrict right;
+  const double* __restrict leaves;
+  const std::int32_t* __restrict sorted_root;
+  const std::uint32_t* __restrict rank;
+  const std::uint32_t* __restrict chunk_depth;
+  const std::uint32_t* __restrict level_offset;
+  const std::uint32_t* __restrict level_counts;
+  std::size_t trees;
+};
+
+// The whole forest for kRows rows, always inlined into the target_clones
+// dispatcher below so the level-synchronous rounds and the ordered leaf
+// accumulation compile as one flat loop nest with compile-time row trip
+// counts — with the shallow ensembles the profile models grow (a handful
+// of internal nodes per tree), per-tree loop overhead and the mispredicted
+// data-dependent depth branches of a tree-at-a-time walk would otherwise
+// dominate the kernel. Per-lane IEEE `x <= t` is the exact comparison the
+// pointer walk performs, the selects only choose between the same two
+// children, and the per-row adds run in ensemble order, so neither the
+// tiling, the depth-sorted schedule, nor the dispatch changes a single
+// routing decision or sum bit.
+template <std::size_t kRows>
+[[gnu::always_inline]] inline void forest_tile(const ForestPlanes& p,
+                                               const double* const* __restrict rows,
+                                               double* __restrict acc) {
+  // Hoist the row pointers and accumulators into locals: with __restrict
+  // the compiler keeps the running sums in registers across whole chunks
+  // instead of storing/reloading acc[] on every tree.
+  const double* __restrict row[kRows];
+  double sum[kRows];
+  for (std::size_t i = 0; i < kRows; ++i) row[i] = rows[i];
+  for (std::size_t i = 0; i < kRows; ++i) sum[i] = acc[i];
+  // Node cursors for one chunk of trees: 8 KiB at the serving tile width,
+  // L1-resident for the whole chunk.
+  alignas(64) std::int32_t cur[CompiledForest::kTreeChunk][kRows];
+  const std::size_t chunks =
+      (p.trees + CompiledForest::kTreeChunk - 1) / CompiledForest::kTreeChunk;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t base = c * CompiledForest::kTreeChunk;
+    const std::size_t n = std::min(CompiledForest::kTreeChunk, p.trees - base);
+    const std::uint32_t depth = p.chunk_depth[c];
+    const std::uint32_t* __restrict counts = p.level_counts + p.level_offset[c];
+    // Root round, fused with the seed: every active tree's rows sit at its
+    // root, so the node fields load once per tree and only the feature
+    // value gathers per row. The depth-sorted suffix past the round-0
+    // count holds single-leaf trees — their roots are already negative
+    // leaf references and ride through the rounds untouched.
+    const std::size_t active0 = depth > 0 ? counts[0] : 0;
+    for (std::size_t j = 0; j < active0; ++j) {
+      const std::int32_t root = p.sorted_root[base + j];
+      const std::uint16_t f0 = p.feature[root];
+      const double t0 = p.threshold[root];
+      const std::int32_t l0 = p.left[root];
+      const std::int32_t r0 = p.right[root];
+      for (std::size_t i = 0; i < kRows; ++i) cur[j][i] = row[i][f0] <= t0 ? l0 : r0;
+    }
+    for (std::size_t j = active0; j < n; ++j) {
+      const std::int32_t root = p.sorted_root[base + j];
+      for (std::size_t i = 0; i < kRows; ++i) cur[j][i] = root;
+    }
+    // Deeper level-synchronous rounds over the depth-sorted chunk: round L
+    // advances exactly the `level_counts` prefix of trees still having
+    // internal nodes at depth L — every loop bound comes from the
+    // schedule, so nothing here branches on per-row traversal state.
+    // Rows that reached a leaf early keep their negative reference via
+    // the final select (their gather reads node 0 harmlessly), which is
+    // why per-lane `x <= t` stays the exact compare the pointer walk
+    // performs: the select only ever picks between the same two children.
+    for (std::uint32_t level = 1; level < depth; ++level) {
+      const std::size_t active = counts[level];
+      for (std::size_t j = 0; j < active; ++j) {
+        std::int32_t* __restrict lane = cur[j];
+        for (std::size_t i = 0; i < kRows; ++i) {
+          const std::int32_t idx = lane[i];
+          const std::int32_t safe = idx & ~(idx >> 31);  // max(idx, 0)
+          const double x = row[i][p.feature[safe]];
+          const std::int32_t next = x <= p.threshold[safe] ? p.left[safe] : p.right[safe];
+          lane[i] = idx < 0 ? idx : next;
+        }
+      }
+    }
+    // Ordered accumulation: replay the chunk's trees in ensemble order
+    // (rank maps each ensemble position to its sorted slot), so per-row
+    // sums add tree contributions in exactly the pointer walk's order.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::int32_t* __restrict lane = cur[p.rank[base + k]];
+      for (std::size_t i = 0; i < kRows; ++i) sum[i] += p.leaves[~lane[i]];
+    }
+  }
+  for (std::size_t i = 0; i < kRows; ++i) acc[i] = sum[i];
+}
+
+// Runtime dispatcher: full tiles take the unrolled kRows-wide body;
+// partial tails run row-at-a-time (a width-1 instance of the same body,
+// so the arithmetic per row is identical regardless of tile occupancy).
+AQUA_TARGET_CLONES void accumulate_forest(const ForestPlanes p, const double* const* rows,
+                                          std::size_t count, double* acc) {
+  if (count == CompiledForest::kTileRows) {
+    forest_tile<CompiledForest::kTileRows>(p, rows, acc);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) forest_tile<1>(p, rows + i, acc + i);
+}
+
+}  // namespace
+
+bool compiled_forest_enabled() noexcept {
+  return g_compiled_forest_enabled.load(std::memory_order_relaxed);
+}
+
+void set_compiled_forest_enabled(bool enabled) noexcept {
+  g_compiled_forest_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void CompiledForest::clear() {
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  leaf_value_.clear();
+  roots_.clear();
+  levels_.clear();
+  sorted_root_.clear();
+  rank_.clear();
+  chunk_depth_.clear();
+  level_offset_.clear();
+  level_counts_.clear();
+  compile_seconds_ = 0.0;
+}
+
+void CompiledForest::compile(std::span<const RegressionTree> trees, double leaf_scale) {
+  const auto start = std::chrono::steady_clock::now();
+  clear();
+  if (trees.empty()) return;
+
+  roots_.reserve(trees.size());
+  levels_.reserve(trees.size());
+
+  std::vector<std::int32_t> global_of;  // tree node index -> internal plane index
+  std::vector<int> frontier, next_frontier, order;
+  for (const RegressionTree& tree : trees) {
+    if (!tree.fitted()) {
+      clear();
+      return;
+    }
+    const std::size_t base = feature_.size();
+    global_of.assign(tree.node_count(), -1);
+
+    const RegressionTree::NodeView root = tree.node_view(0);
+    if (root.feature < 0) {
+      // Single-leaf tree: the root itself is an inlined leaf reference.
+      roots_.push_back(~static_cast<std::int32_t>(leaf_value_.size()));
+      leaf_value_.push_back(leaf_scale * root.value);
+      levels_.push_back(0);
+      continue;
+    }
+
+    // Pass 1: breadth-first numbering of the internal nodes, so every
+    // depth level occupies one contiguous plane block and the level count
+    // bounds the traversal iterations.
+    order.clear();
+    frontier.assign(1, 0);
+    std::uint32_t levels = 0;
+    while (!frontier.empty()) {
+      ++levels;
+      next_frontier.clear();
+      for (const int n : frontier) {
+        global_of[static_cast<std::size_t>(n)] =
+            static_cast<std::int32_t>(base + order.size());
+        order.push_back(n);
+        const RegressionTree::NodeView node = tree.node_view(static_cast<std::size_t>(n));
+        if (tree.node_view(static_cast<std::size_t>(node.left)).feature >= 0) {
+          next_frontier.push_back(node.left);
+        }
+        if (tree.node_view(static_cast<std::size_t>(node.right)).feature >= 0) {
+          next_frontier.push_back(node.right);
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+
+    // Pass 2: fill the planes in that order, inlining leaf children as
+    // negative references into the leaf-value plane (encounter order).
+    for (const int n : order) {
+      const RegressionTree::NodeView node = tree.node_view(static_cast<std::size_t>(n));
+      if (node.feature > std::numeric_limits<std::uint16_t>::max()) {
+        clear();  // feature plane too narrow — callers keep the pointer walk
+        return;
+      }
+      auto child_ref = [&](int child) -> std::int32_t {
+        const RegressionTree::NodeView c = tree.node_view(static_cast<std::size_t>(child));
+        if (c.feature >= 0) return global_of[static_cast<std::size_t>(child)];
+        const std::int32_t leaf = static_cast<std::int32_t>(leaf_value_.size());
+        leaf_value_.push_back(leaf_scale * c.value);
+        return ~leaf;
+      };
+      feature_.push_back(static_cast<std::uint16_t>(node.feature));
+      threshold_.push_back(node.threshold);
+      left_.push_back(child_ref(node.left));
+      right_.push_back(child_ref(node.right));
+    }
+    roots_.push_back(global_of[0]);
+    levels_.push_back(levels);
+  }
+
+  // The int32 child planes must be able to address every node and leaf.
+  const auto limit = static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max());
+  if (feature_.size() >= limit || leaf_value_.size() >= limit) {
+    clear();
+    return;
+  }
+
+  // Traversal schedule: depth-sort (descending, stable) within each
+  // ensemble-order chunk of kTreeChunk trees, so the kernel's round L runs
+  // over the contiguous prefix of trees that still have internal nodes at
+  // depth L. rank_ inverts the sort for the ordered accumulation pass, and
+  // chunks themselves stay in ensemble order, so the global add order is
+  // untouched by the reordering.
+  const std::size_t total = roots_.size();
+  sorted_root_.resize(total);
+  rank_.resize(total);
+  std::vector<std::uint32_t> slot;
+  for (std::size_t base = 0; base < total; base += kTreeChunk) {
+    const std::size_t n = std::min(kTreeChunk, total - base);
+    slot.resize(n);
+    std::iota(slot.begin(), slot.end(), 0u);
+    std::stable_sort(slot.begin(), slot.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return levels_[base + a] > levels_[base + b];
+    });
+    const std::uint32_t depth = n > 0 ? levels_[base + slot[0]] : 0;
+    chunk_depth_.push_back(depth);
+    level_offset_.push_back(static_cast<std::uint32_t>(level_counts_.size()));
+    for (std::uint32_t level = 0; level < depth; ++level) {
+      std::uint32_t active = 0;
+      while (active < n && levels_[base + slot[active]] > level) ++active;
+      level_counts_.push_back(active);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      sorted_root_[base + j] = roots_[base + slot[j]];
+      rank_[base + slot[j]] = static_cast<std::uint32_t>(j);
+    }
+  }
+
+  compile_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+ForestCompileReport CompiledForest::report() const {
+  ForestCompileReport r;
+  if (!compiled()) return r;
+  r.classifiers = 1;
+  r.trees = num_trees();
+  r.internal_nodes = num_internal_nodes();
+  r.leaves = num_leaves();
+  r.seconds = compile_seconds_;
+  return r;
+}
+
+void CompiledForest::accumulate_tile(const double* const* rows, std::size_t count,
+                                     double* acc) const {
+  AQUA_REQUIRE(compiled(), "accumulate on an uncompiled forest");
+  AQUA_REQUIRE(count <= kTileRows, "tile exceeds kTileRows");
+  const ForestPlanes planes{feature_.data(),     threshold_.data(),    left_.data(),
+                            right_.data(),       leaf_value_.data(),   sorted_root_.data(),
+                            rank_.data(),        chunk_depth_.data(),  level_offset_.data(),
+                            level_counts_.data(), roots_.size()};
+  accumulate_forest(planes, rows, count, acc);
+}
+
+double CompiledForest::accumulate(std::span<const double> x, double init) const {
+  const double* row = x.data();
+  double acc = init;
+  accumulate_tile(&row, 1, &acc);
+  return acc;
+}
+
+}  // namespace aqua::ml

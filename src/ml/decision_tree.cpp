@@ -7,6 +7,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/cpu_dispatch.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "io/binary.hpp"
@@ -448,7 +449,7 @@ using v4si = std::uint32_t __attribute__((vector_size(16), aligned(4), may_alias
 // per-lane IEEE adds are identical across clones, and every cell still
 // receives its additions in row order, so neither the tiling nor the
 // dispatch changes a single bit of the result.
-__attribute__((target_clones("default", "avx2", "avx512f"))) void accumulate_hist_block(
+AQUA_TARGET_CLONES void accumulate_hist_block(
     double* const* hist_base, std::uint32_t* const* cnt_base, const std::uint8_t* const* cols,
     std::size_t nf, const std::size_t* order, const double* stats, std::size_t begin,
     std::size_t end) {
@@ -463,7 +464,7 @@ __attribute__((target_clones("default", "avx2", "avx512f"))) void accumulate_his
   }
 }
 
-__attribute__((target_clones("default", "avx2", "avx512f"))) void subtract_hist(
+AQUA_TARGET_CLONES void subtract_hist(
     double* parent, const double* small, std::size_t len) {
   for (std::size_t i = 0; i < len; ++i) parent[i] -= small[i];
 }
@@ -480,8 +481,8 @@ constexpr std::size_t kMaxStoreBins = 256;
 // divide per bin instead of two, and the unconditional loop body lets the
 // wide clones batch the divides. fp-contract stays off so every clone
 // produces the scalar path's exact bits.
-__attribute__((target_clones("default", "avx2", "avx512f"),
-               optimize("O3", "fp-contract=off", "no-trapping-math", "no-math-errno"))) void
+AQUA_TARGET_CLONES
+__attribute__((optimize("O3", "fp-contract=off", "no-trapping-math", "no-math-errno"))) void
 eval_split_gains(const double* lwt, const double* lwy, const double* ln, std::size_t nb,
                  double tot_wt, double tot_wy, double n_count, double min_leaf,
                  double parent_score, double* gain) {
@@ -503,8 +504,8 @@ eval_split_gains(const double* lwt, const double* lwy, const double* ln, std::si
 // counts exact) is poisoned to -inf so splitting "at" an empty bin —
 // which would duplicate its predecessor's partition under a different
 // recorded threshold — can never be selected.
-__attribute__((target_clones("default", "avx2", "avx512f"),
-               optimize("O3", "fp-contract=off", "no-trapping-math", "no-math-errno"))) void
+AQUA_TARGET_CLONES
+__attribute__((optimize("O3", "fp-contract=off", "no-trapping-math", "no-math-errno"))) void
 eval_split_gains_dense(const double* pref, const std::uint32_t* cnt_pref,
                        const std::uint32_t* cell_cnt, std::size_t nb, double tot_wt,
                        double tot_wy, std::uint32_t n_count, std::uint32_t min_leaf,

@@ -88,6 +88,21 @@ class RegressionTree {
   /// Output value of a leaf node (pairs with fit_binned's leaf_of_row).
   double leaf_value(std::size_t node) const { return nodes_[node].value; }
 
+  /// Read-only view of one stored node, for the compiled-kernel
+  /// flattener (ml/compiled_forest.hpp) and structural tests. Leaves
+  /// report feature < 0.
+  struct NodeView {
+    int feature;
+    double threshold;
+    double value;
+    int left;
+    int right;
+  };
+  NodeView node_view(std::size_t i) const {
+    const Node& n = nodes_[i];
+    return {n.feature, n.threshold, n.value, n.left, n.right};
+  }
+
   bool fitted() const noexcept { return !nodes_.empty(); }
   std::size_t node_count() const noexcept { return nodes_.size(); }
   std::size_t depth() const noexcept;

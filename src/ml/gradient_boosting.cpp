@@ -40,6 +40,7 @@ void GradientBoostingClassifier::fit_impl(const Matrix& x, const Labels& y,
     constant_ = true;
     constant_probability_ = pos_rate;
     trees_.clear();
+    compiled_.clear();
     return;
   }
   constant_ = false;
@@ -104,6 +105,7 @@ void GradientBoostingClassifier::fit_impl(const Matrix& x, const Labels& y,
     }
     trees_.push_back(std::move(tree));
   }
+  compiled_.compile(trees_, config_.learning_rate);
 }
 
 double GradientBoostingClassifier::predict_proba(std::span<const double> x) const {
@@ -112,6 +114,23 @@ double GradientBoostingClassifier::predict_proba(std::span<const double> x) cons
   double score = base_score_;
   for (const auto& tree : trees_) score += config_.learning_rate * tree.predict(x);
   return sigmoid(score);
+}
+
+void GradientBoostingClassifier::predict_proba_mapped_tile(const double* const* rows,
+                                                           std::size_t count, std::size_t dim,
+                                                           double* out,
+                                                           std::size_t stride) const {
+  if (constant_ || !compiled_.compiled() || !compiled_forest_enabled()) {
+    BinaryClassifier::predict_proba_mapped_tile(rows, count, dim, out, stride);
+    return;
+  }
+  double acc[CompiledForest::kTileRows];
+  for (std::size_t begin = 0; begin < count; begin += CompiledForest::kTileRows) {
+    const std::size_t n = std::min(CompiledForest::kTileRows, count - begin);
+    for (std::size_t i = 0; i < n; ++i) acc[i] = base_score_;
+    compiled_.accumulate_tile(rows + begin, n, acc);
+    for (std::size_t i = 0; i < n; ++i) out[(begin + i) * stride] = sigmoid(acc[i]);
+  }
 }
 
 std::unique_ptr<BinaryClassifier> GradientBoostingClassifier::clone_config() const {
@@ -150,6 +169,7 @@ void GradientBoostingClassifier::load_state(io::BinaryReader& reader) {
   if (count > (std::uint64_t{1} << 24)) throw io::SerializationError("malformed ensemble size");
   trees_.assign(count, RegressionTree{});
   for (auto& tree : trees_) tree.load(reader);
+  compiled_.compile(trees_, config_.learning_rate);
 }
 
 }  // namespace aqua::ml

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "ml/classifier.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/decision_tree.hpp"
 
 namespace aqua::ml {
@@ -29,6 +30,15 @@ class GradientBoostingClassifier final : public BinaryClassifier {
 
   void fit(const Matrix& x, const Labels& y) override;
   double predict_proba(std::span<const double> x) const override;
+  /// Compiled SoA traversal over the whole tile (bit-identical to the
+  /// per-row pointer walk): the learning rate is baked into the leaf
+  /// plane at compile time, so accumulation replays score += lr * leaf
+  /// in round order exactly.
+  void predict_proba_mapped_tile(const double* const* rows, std::size_t count, std::size_t dim,
+                                 double* out, std::size_t stride) const override;
+  const CompiledForest* compiled_forest() const override {
+    return compiled_.compiled() ? &compiled_ : nullptr;
+  }
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "GB"; }
   void save_state(io::BinaryWriter& writer) const override;
@@ -46,6 +56,9 @@ class GradientBoostingClassifier final : public BinaryClassifier {
 
   GradientBoostingConfig config_;
   std::vector<RegressionTree> trees_;
+  /// SoA flattening of trees_ (leaf values pre-scaled by learning_rate),
+  /// rebuilt after every fit/load; derived state, never serialized.
+  CompiledForest compiled_;
   double base_score_ = 0.0;  // initial log-odds
   bool constant_ = false;
   double constant_probability_ = 0.0;

@@ -84,6 +84,32 @@ double HybridRslClassifier::predict_proba_mapped(std::span<const double> mapped)
   return meta_.predict_proba(std::span<const double>(meta_input, 2));
 }
 
+void HybridRslClassifier::predict_proba_mapped_tile(const double* const* rows, std::size_t count,
+                                                    std::size_t dim, double* out,
+                                                    std::size_t stride) const {
+  if (constant_) {
+    for (std::size_t i = 0; i < count; ++i) out[i * stride] = constant_probability_;
+    return;
+  }
+  const std::size_t svm_dim =
+      config_.svm.rff_dimension > 0 ? config_.svm.rff_dimension : dim / 2;
+  AQUA_REQUIRE(dim > svm_dim, "hybrid shared map too small");
+  const std::size_t d = dim - svm_dim;
+  double forest_p[kPredictTileRows];
+  for (std::size_t begin = 0; begin < count; begin += kPredictTileRows) {
+    const std::size_t n = std::min(kPredictTileRows, count - begin);
+    // The forest sees only the raw-feature prefix of each mapped row; the
+    // inner RF's tile kernel is bit-identical to its pointer walk.
+    forest_.predict_proba_mapped_tile(rows + begin, n, d, forest_p, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double meta_input[2] = {
+          forest_p[i],
+          svm_.predict_proba_mapped(std::span<const double>(rows[begin + i] + d, svm_dim))};
+      out[(begin + i) * stride] = meta_.predict_proba(std::span<const double>(meta_input, 2));
+    }
+  }
+}
+
 std::unique_ptr<BinaryClassifier> HybridRslClassifier::clone_config() const {
   return std::make_unique<HybridRslClassifier>(config_);
 }

@@ -33,6 +33,13 @@ class HybridRslClassifier final : public BinaryClassifier {
   bool accepts_input_map(const BinaryClassifier& owner) const override;
   void map_input(std::span<const double> x, PredictWorkspace& ws) const override;
   double predict_proba_mapped(std::span<const double> mapped) const override;
+  /// Tile path: the forest branch runs the inner RF's compiled SoA kernel
+  /// over the whole tile; the SVM and meta heads stay per-row.
+  void predict_proba_mapped_tile(const double* const* rows, std::size_t count, std::size_t dim,
+                                 double* out, std::size_t stride) const override;
+  const CompiledForest* compiled_forest() const override {
+    return constant_ ? nullptr : forest_.compiled_forest();
+  }
   /// Shared-store fit protocol: the store feeds the forest branch (the
   /// SVM and meta stages are not tree-based and train unchanged).
   std::size_t fit_store_bins() const override { return forest_.fit_store_bins(); }

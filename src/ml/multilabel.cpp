@@ -1,5 +1,7 @@
 #include "ml/multilabel.hpp"
 
+#include <array>
+
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/binning.hpp"
@@ -116,23 +118,32 @@ void MultiLabelModel::predict_proba_batch_into(const Matrix& x, Matrix& out,
   if (out.rows() != x.rows() || out.cols() != labels) out = Matrix(x.rows(), labels);
 
   if (shared_map_owner_ != kNoSharedMap) {
-    // Row-major with a hoisted shared map: one map_input per snapshot,
-    // per-label heads on the shared buffer. Chunked so each task reuses
-    // one workspace across its rows (no per-row allocation).
+    // Hoisted shared map + blocked tile traversal: one map_input per
+    // snapshot, then a tile of kPredictTileRows rows advances through one
+    // label head at a time, so tree-backed heads amortize every node load
+    // across the tile (see BinaryClassifier's tile protocol). Chunked so
+    // each task reuses its workspaces across all its tiles.
+    constexpr std::size_t kTile = BinaryClassifier::kPredictTileRows;
     const BinaryClassifier& owner = *classifiers_[shared_map_owner_];
     auto& pool = ThreadPool::global();
     const std::size_t chunks =
         parallel ? std::max<std::size_t>(1, std::min(pool.size(), x.rows())) : 1;
     const std::size_t per_chunk = (x.rows() + chunks - 1) / std::max<std::size_t>(chunks, 1);
     auto run_chunk = [&](std::size_t chunk) {
-      PredictWorkspace ws;
+      std::array<PredictWorkspace, kTile> ws;
+      std::array<const double*, kTile> rows{};
       const std::size_t begin = chunk * per_chunk;
       const std::size_t end = std::min(begin + per_chunk, x.rows());
-      for (std::size_t r = begin; r < end; ++r) {
-        owner.map_input(x.row(r), ws);
-        auto dst = out.row(r);
+      for (std::size_t tile = begin; tile < end; tile += kTile) {
+        const std::size_t n = std::min(kTile, end - tile);
+        for (std::size_t i = 0; i < n; ++i) {
+          owner.map_input(x.row(tile + i), ws[i]);
+          rows[i] = ws[i].mapped.data();
+        }
+        const std::size_t dim = ws[0].mapped.size();
+        double* dst = &out(tile, 0);
         for (std::size_t v = 0; v < labels; ++v) {
-          dst[v] = classifiers_[v]->predict_proba_mapped(ws.mapped);
+          classifiers_[v]->predict_proba_mapped_tile(rows.data(), n, dim, dst + v, labels);
         }
       }
     };
@@ -155,6 +166,21 @@ void MultiLabelModel::predict_proba_batch_into(const Matrix& x, Matrix& out,
   } else {
     for (std::size_t v = 0; v < labels; ++v) run_label(v);
   }
+}
+
+ForestCompileReport MultiLabelModel::forest_compile_report() const {
+  ForestCompileReport total;
+  for (const auto& c : classifiers_) {
+    const CompiledForest* forest = c->compiled_forest();
+    if (forest == nullptr) continue;
+    const ForestCompileReport r = forest->report();
+    total.classifiers += r.classifiers;
+    total.trees += r.trees;
+    total.internal_nodes += r.internal_nodes;
+    total.leaves += r.leaves;
+    total.seconds += r.seconds;
+  }
+  return total;
 }
 
 const BinaryClassifier& MultiLabelModel::classifier(std::size_t label) const {

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "ml/classifier.hpp"
+#include "ml/compiled_forest.hpp"
 
 namespace aqua::ml {
 
@@ -49,13 +50,22 @@ class MultiLabelModel {
   /// Batched predict_proba over stacked feature rows: `out` becomes
   /// rows x num_labels. When every label accepts one classifier's input
   /// map (detected once after fit/load; see BinaryClassifier's shared-
-  /// input-map protocol), the map is computed once per row and only the
-  /// per-label heads run — bit-identical to per-row predict_proba, since
-  /// sharing only elides recomputation of bitwise-equal subexpressions.
+  /// input-map protocol), the map is computed once per row and the rows
+  /// advance through the per-label heads a tile at a time
+  /// (kPredictTileRows rows per tile), so tree-backed heads run their
+  /// compiled SoA traversal kernel with node loads amortized across the
+  /// tile — bit-identical to per-row predict_proba, since sharing and
+  /// tiling only elide recomputation of bitwise-equal subexpressions.
   /// Otherwise falls back to a label-major sweep (per-label model state
   /// stays cache-hot across the whole batch). Reentrant: safe to call
   /// concurrently on a fitted model.
   void predict_proba_batch_into(const Matrix& x, Matrix& out, bool parallel = true) const;
+
+  /// Aggregate compiled-forest statistics over every label's classifier
+  /// (zero report for tree-less models). ModelBundle captures this at
+  /// load so the serving daemon can export forest.compile_seconds /
+  /// forest.compiled_trees per district.
+  ForestCompileReport forest_compile_report() const;
 
   /// True when batched prediction hoists a shared input map.
   bool has_shared_input_map() const noexcept { return shared_map_owner_ != kNoSharedMap; }

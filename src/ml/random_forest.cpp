@@ -36,6 +36,7 @@ void RandomForestClassifier::fit_impl(const Matrix& x, const Labels& y,
     constant_ = true;
     constant_probability_ = pos_rate;
     trees_.clear();
+    compiled_.clear();
     return;
   }
   constant_ = false;
@@ -94,6 +95,7 @@ void RandomForestClassifier::fit_impl(const Matrix& x, const Labels& y,
     }
     trees_.push_back(std::move(tree));
   }
+  compiled_.compile(trees_, 1.0);
 }
 
 double RandomForestClassifier::predict_proba(std::span<const double> x) const {
@@ -102,6 +104,28 @@ double RandomForestClassifier::predict_proba(std::span<const double> x) const {
   double sum = 0.0;
   for (const auto& tree : trees_) sum += tree.predict(x);
   return std::clamp(sum / static_cast<double>(trees_.size()), 0.0, 1.0);
+}
+
+void RandomForestClassifier::predict_proba_mapped_tile(const double* const* rows,
+                                                       std::size_t count, std::size_t dim,
+                                                       double* out, std::size_t stride) const {
+  if (constant_ || !compiled_.compiled() || !compiled_forest_enabled()) {
+    BinaryClassifier::predict_proba_mapped_tile(rows, count, dim, out, stride);
+    return;
+  }
+  // Leaf means accumulate with scale 1 (baked at compile time), so the
+  // per-row sum-then-clamp below replays predict_proba's arithmetic
+  // exactly: same adds in tree order, same divide, same clamp.
+  const double num_trees = static_cast<double>(trees_.size());
+  double acc[CompiledForest::kTileRows];
+  for (std::size_t begin = 0; begin < count; begin += CompiledForest::kTileRows) {
+    const std::size_t n = std::min(CompiledForest::kTileRows, count - begin);
+    for (std::size_t i = 0; i < n; ++i) acc[i] = 0.0;
+    compiled_.accumulate_tile(rows + begin, n, acc);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[(begin + i) * stride] = std::clamp(acc[i] / num_trees, 0.0, 1.0);
+    }
+  }
 }
 
 std::unique_ptr<BinaryClassifier> RandomForestClassifier::clone_config() const {
@@ -138,6 +162,7 @@ void RandomForestClassifier::load_state(io::BinaryReader& reader) {
   if (count > (std::uint64_t{1} << 24)) throw io::SerializationError("malformed forest size");
   trees_.assign(count, RegressionTree{});
   for (auto& tree : trees_) tree.load(reader);
+  compiled_.compile(trees_, 1.0);
 }
 
 }  // namespace aqua::ml

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "ml/classifier.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/decision_tree.hpp"
 
 namespace aqua::ml {
@@ -35,6 +36,14 @@ class RandomForestClassifier final : public BinaryClassifier {
 
   void fit(const Matrix& x, const Labels& y) override;
   double predict_proba(std::span<const double> x) const override;
+  /// Compiled SoA traversal over the whole tile (bit-identical to the
+  /// per-row pointer walk); falls back to the base per-row loop when the
+  /// ensemble is degenerate or the kernel is disabled.
+  void predict_proba_mapped_tile(const double* const* rows, std::size_t count, std::size_t dim,
+                                 double* out, std::size_t stride) const override;
+  const CompiledForest* compiled_forest() const override {
+    return compiled_.compiled() ? &compiled_ : nullptr;
+  }
   std::unique_ptr<BinaryClassifier> clone_config() const override;
   std::string name() const override { return "RF"; }
   void save_state(io::BinaryWriter& writer) const override;
@@ -52,6 +61,10 @@ class RandomForestClassifier final : public BinaryClassifier {
 
   RandomForestConfig config_;
   std::vector<RegressionTree> trees_;
+  /// SoA flattening of trees_, rebuilt after every fit/load (derived
+  /// state, never serialized). The pointer-walking predict_proba stays
+  /// the oracle.
+  CompiledForest compiled_;
   bool constant_ = false;
   double constant_probability_ = 0.0;
 };

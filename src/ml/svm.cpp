@@ -8,6 +8,50 @@
 
 namespace aqua::ml {
 
+namespace {
+
+/// The random-Fourier-feature map z[k] = scale * cos(b[k] + W[k]·x for all
+/// k, with the dot products computed four features at a time. Each dot is
+/// a serial dependent chain (latency-bound at one fused multiply-add per
+/// element); interleaving four independent chains hides that latency
+/// without touching any chain's own operation order, so every z[k] keeps
+/// the exact bits of the one-feature-at-a-time loop.
+void rff_map_into(const Matrix& weights, const std::vector<double>& offsets,
+                  const double* __restrict xs, std::size_t d, double scale,
+                  double* __restrict z) {
+  const std::size_t features = offsets.size();
+  std::size_t k = 0;
+  for (; k + 4 <= features; k += 4) {
+    double dot0 = offsets[k];
+    double dot1 = offsets[k + 1];
+    double dot2 = offsets[k + 2];
+    double dot3 = offsets[k + 3];
+    const double* __restrict w0 = weights.row(k).data();
+    const double* __restrict w1 = weights.row(k + 1).data();
+    const double* __restrict w2 = weights.row(k + 2).data();
+    const double* __restrict w3 = weights.row(k + 3).data();
+    for (std::size_t c = 0; c < d; ++c) {
+      const double x = xs[c];
+      dot0 += w0[c] * x;
+      dot1 += w1[c] * x;
+      dot2 += w2[c] * x;
+      dot3 += w3[c] * x;
+    }
+    z[k] = scale * std::cos(dot0);
+    z[k + 1] = scale * std::cos(dot1);
+    z[k + 2] = scale * std::cos(dot2);
+    z[k + 3] = scale * std::cos(dot3);
+  }
+  for (; k < features; ++k) {
+    double dot = offsets[k];
+    const double* __restrict w = weights.row(k).data();
+    for (std::size_t c = 0; c < d; ++c) dot += w[c] * xs[c];
+    z[k] = scale * std::cos(dot);
+  }
+}
+
+}  // namespace
+
 SvmClassifier::SvmClassifier(SvmConfig config)
     : config_(config), core_(detail::LinearLoss::kHinge, config.sgd) {}
 
@@ -27,12 +71,7 @@ std::vector<double> SvmClassifier::map_features(std::span<const double> x) const
   const std::size_t d = xs.size();
   std::vector<double> z(config_.rff_dimension);
   const double scale = std::sqrt(2.0 / static_cast<double>(config_.rff_dimension));
-  for (std::size_t k = 0; k < config_.rff_dimension; ++k) {
-    double dot = rff_offsets_[k];
-    const auto row = rff_weights_.row(k);
-    for (std::size_t c = 0; c < d; ++c) dot += row[c] * xs[c];
-    z[k] = scale * std::cos(dot);
-  }
+  rff_map_into(rff_weights_, rff_offsets_, xs.data(), d, scale, z.data());
   return z;
 }
 
@@ -146,12 +185,7 @@ void SvmClassifier::map_input(std::span<const double> x, PredictWorkspace& ws) c
     const std::size_t d = ws.scratch.size();
     ws.scratch2.resize(config_.rff_dimension);
     const double scale = std::sqrt(2.0 / static_cast<double>(config_.rff_dimension));
-    for (std::size_t k = 0; k < config_.rff_dimension; ++k) {
-      double dot = rff_offsets_[k];
-      const auto row = rff_weights_.row(k);
-      for (std::size_t c = 0; c < d; ++c) dot += row[c] * ws.scratch[c];
-      ws.scratch2[k] = scale * std::cos(dot);
-    }
+    rff_map_into(rff_weights_, rff_offsets_, ws.scratch.data(), d, scale, ws.scratch2.data());
   }
   core_.scaler().transform_row_into(ws.scratch2, ws.mapped);
 }

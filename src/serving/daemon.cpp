@@ -23,7 +23,8 @@ ModelBundle::ModelBundle(std::shared_ptr<const core::ProfileModel> profile, std:
                          core::InferenceEngineOptions engine_options)
     : profile_(require_profile(std::move(profile))),
       version_(version),
-      engine_(*profile_, engine_options) {
+      engine_(*profile_, engine_options),
+      forest_report_(engine_.forest_compile_report()) {
   // InferenceEngine's constructor rejects an untrained model.
 }
 
@@ -166,8 +167,11 @@ std::vector<std::pair<std::string, double>> ServingDaemon::metrics() const {
     auto district_metrics = dist->stats.metrics(prefix);
     all.insert(all.end(), std::make_move_iterator(district_metrics.begin()),
                std::make_move_iterator(district_metrics.end()));
-    all.emplace_back(prefix + "model_version",
-                     static_cast<double>(dist->bundle.load()->version()));
+    const auto bundle = dist->bundle.load();
+    all.emplace_back(prefix + "model_version", static_cast<double>(bundle->version()));
+    const ml::ForestCompileReport& forest = bundle->forest_report();
+    all.emplace_back(prefix + "forest.compile_seconds", forest.seconds);
+    all.emplace_back(prefix + "forest.compiled_trees", static_cast<double>(forest.trees));
   }
   return all;
 }

@@ -56,10 +56,18 @@ class ModelBundle {
   const core::InferenceEngine& engine() const noexcept { return engine_; }
   std::uint64_t version() const noexcept { return version_; }
 
+  /// Compiled-forest statistics captured at construction. Tree ensembles
+  /// compile to SoA planes inside classifier fit/load_state, i.e. on the
+  /// publisher path of a hot swap — by the time a bundle is published the
+  /// compile cost is already paid, and this report (exported per district
+  /// as forest.compile_seconds / forest.compiled_trees) is the proof.
+  const ml::ForestCompileReport& forest_report() const noexcept { return forest_report_; }
+
  private:
   std::shared_ptr<const core::ProfileModel> profile_;
   std::uint64_t version_;
   core::InferenceEngine engine_;  // references *profile_; declared after it
+  ml::ForestCompileReport forest_report_;
 };
 
 /// Loads an AQUAMODL artifact into a publishable bundle, preferring the

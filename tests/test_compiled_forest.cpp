@@ -1,0 +1,328 @@
+// Compiled SoA forest-kernel contract tests (DESIGN.md §14). The flattened
+// tile kernel must be bitwise identical to the pointer-walking oracle it
+// was compiled from — on fresh fits, after artifact round-trips through
+// both the buffered and the mmap readers, through the shared-input-map
+// batch path, and under concurrent tile calls on one shared model. The
+// concurrency test spawns raw std::threads on purpose and is meaningful
+// under TSan (label "kernel;concurrency").
+#include "ml/compiled_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/aquascale.hpp"
+#include "io/mapped_artifact.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/hybrid_rsl.hpp"
+#include "ml/random_forest.hpp"
+
+namespace aqua::ml {
+namespace {
+
+using core::ModelKind;
+using core::ProfileModel;
+
+/// Restores the process-wide kernel switch no matter how a test exits.
+struct KernelSwitchGuard {
+  ~KernelSwitchGuard() { set_compiled_forest_enabled(true); }
+};
+
+std::pair<Matrix, Labels> blobs(std::size_t n, Rng& rng) {
+  Matrix x(n, 6);
+  Labels y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 6; ++c) x(i, c) = rng.normal();
+    y[i] = x(i, 0) + 0.4 * x(i, 3) + 0.3 * rng.normal() > 0.0 ? 1 : 0;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+ml::MultiLabelDataset synthetic_dataset(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t samples = 90, features = 6, labels = 5;
+  MultiLabelDataset data;
+  data.features = Matrix(samples, features);
+  data.labels.assign(samples, Labels(labels, 0));
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (std::size_t c = 0; c < features; ++c) data.features(i, c) = rng.normal();
+    for (std::size_t v = 0; v < labels; ++v) {
+      data.labels[i][v] = data.features(i, v % features) + 0.2 * rng.normal() > 0.0 ? 1 : 0;
+    }
+  }
+  return data;
+}
+
+void expect_same_bits(double a, double b, const std::string& where) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)) << where;
+}
+
+// --- CompiledForest against the raw tree ensemble ----------------------
+
+TEST(CompiledForest, AccumulateMatchesScaledTreeSumOracle) {
+  Rng rng(101);
+  const auto [x, yb] = blobs(250, rng);
+  std::vector<double> y(yb.begin(), yb.end());
+  std::vector<RegressionTree> trees(12);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    // Vary the targets so the ensemble holds distinct trees of distinct
+    // depths (including the chance of single-leaf degenerates).
+    std::vector<double> yt = y;
+    for (std::size_t i = t; i < yt.size(); i += t + 2) yt[i] = 1.0 - yt[i];
+    trees[t].fit(x, yt);
+  }
+  const double scale = 0.35;
+  CompiledForest forest;
+  forest.compile(trees, scale);
+  ASSERT_TRUE(forest.compiled());
+
+  Rng probe(102);
+  const auto [tx, ty] = blobs(64, probe);
+  (void)ty;
+  for (std::size_t i = 0; i < tx.rows(); ++i) {
+    double want = 0.25;  // nonzero init must pass through untouched
+    for (const auto& tree : trees) want += scale * tree.predict(tx.row(i));
+    const double got = forest.accumulate(tx.row(i), 0.25);
+    expect_same_bits(got, want, "row " + std::to_string(i));
+  }
+}
+
+TEST(CompiledForest, PartialTilesMatchSingleRowAccumulate) {
+  Rng rng(103);
+  const auto [x, yb] = blobs(220, rng);
+  std::vector<double> y(yb.begin(), yb.end());
+  std::vector<RegressionTree> trees(9);
+  for (auto& tree : trees) tree.fit(x, y);
+  CompiledForest forest;
+  forest.compile(trees, 1.0);
+  ASSERT_TRUE(forest.compiled());
+
+  Rng probe(104);
+  const auto [tx, ty] = blobs(CompiledForest::kTileRows, probe);
+  (void)ty;
+  std::array<const double*, CompiledForest::kTileRows> rows{};
+  for (std::size_t i = 0; i < tx.rows(); ++i) rows[i] = tx.row(i).data();
+  // Every occupancy 1..kTileRows must agree with the one-row path.
+  for (std::size_t count = 1; count <= CompiledForest::kTileRows; ++count) {
+    std::array<double, CompiledForest::kTileRows> acc{};
+    forest.accumulate_tile(rows.data(), count, acc.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      expect_same_bits(acc[i], forest.accumulate(tx.row(i), 0.0),
+                       "count " + std::to_string(count) + " row " + std::to_string(i));
+    }
+  }
+}
+
+TEST(CompiledForest, ReportCountsCompiledStateAndClearsWithIt) {
+  Rng rng(105);
+  const auto [x, yb] = blobs(200, rng);
+  std::vector<double> y(yb.begin(), yb.end());
+  std::vector<RegressionTree> trees(7);
+  for (auto& tree : trees) tree.fit(x, y);
+  CompiledForest forest;
+  forest.compile(trees, 1.0);
+  ASSERT_TRUE(forest.compiled());
+
+  const ForestCompileReport report = forest.report();
+  EXPECT_EQ(report.classifiers, 1u);
+  EXPECT_EQ(report.trees, trees.size());
+  EXPECT_GT(report.internal_nodes, 0u);
+  // Every internal node contributes exactly one extra leaf beyond its
+  // tree's first, so a binary ensemble has internal + trees leaves.
+  EXPECT_EQ(report.leaves, report.internal_nodes + report.trees);
+  EXPECT_GT(report.seconds, 0.0);
+
+  forest.clear();
+  EXPECT_FALSE(forest.compiled());
+  const ForestCompileReport cleared = forest.report();
+  EXPECT_EQ(cleared.classifiers, 0u);
+  EXPECT_EQ(cleared.trees, 0u);
+  EXPECT_EQ(cleared.seconds, 0.0);
+}
+
+// --- Fresh-fit bit-identity per ensemble kind --------------------------
+
+template <typename Classifier>
+void expect_tile_matches_pointer_walk(Classifier& classifier, std::uint64_t seed) {
+  const KernelSwitchGuard guard;
+  Rng rng(seed);
+  const auto [x, y] = blobs(260, rng);
+  classifier.fit(x, y);
+  ASSERT_NE(classifier.compiled_forest(), nullptr);
+
+  Rng probe(seed + 1);
+  const auto [tx, ty] = blobs(52, probe);  // deliberately not a tile multiple
+  (void)ty;
+  // The tile protocol consumes mapped rows; build them via the
+  // classifier's own input map so the comparison covers the real path.
+  std::vector<PredictWorkspace> ws(tx.rows());
+  std::vector<const double*> rows(tx.rows());
+  for (std::size_t i = 0; i < tx.rows(); ++i) {
+    classifier.map_input(tx.row(i), ws[i]);
+    rows[i] = ws[i].mapped.data();
+  }
+  const std::size_t dim = ws[0].mapped.size();
+
+  std::vector<double> compiled_out(tx.rows()), pointer_out(tx.rows());
+  set_compiled_forest_enabled(true);
+  classifier.predict_proba_mapped_tile(rows.data(), rows.size(), dim, compiled_out.data(), 1);
+  set_compiled_forest_enabled(false);
+  classifier.predict_proba_mapped_tile(rows.data(), rows.size(), dim, pointer_out.data(), 1);
+
+  for (std::size_t i = 0; i < tx.rows(); ++i) {
+    expect_same_bits(compiled_out[i], pointer_out[i],
+                     "kernel on/off row " + std::to_string(i));
+    // And both must be the plain per-row oracle.
+    expect_same_bits(pointer_out[i], classifier.predict_proba(tx.row(i)),
+                     "oracle row " + std::to_string(i));
+  }
+}
+
+TEST(CompiledForest, RandomForestTileBitIdenticalToPointerWalk) {
+  RandomForestClassifier rf;
+  expect_tile_matches_pointer_walk(rf, 111);
+}
+
+TEST(CompiledForest, GradientBoostingTileBitIdenticalToPointerWalk) {
+  GradientBoostingClassifier gb;
+  expect_tile_matches_pointer_walk(gb, 113);
+}
+
+TEST(CompiledForest, HybridRslTileBitIdenticalToPointerWalk) {
+  HybridRslClassifier hybrid;
+  expect_tile_matches_pointer_walk(hybrid, 115);
+}
+
+// --- Artifact round-trip through both readers --------------------------
+
+TEST(CompiledForest, ArtifactRoundTripRecompilesBitIdentically) {
+  ProfileModel original;
+  original.kind = ModelKind::kHybridRsl;
+  original.model = MultiLabelModel(core::make_classifier_factory(original.kind));
+  original.model.fit(synthetic_dataset(0x77));
+  ASSERT_GT(original.model.forest_compile_report().trees, 0u);
+
+  const std::string path = ::testing::TempDir() + "aqua_compiled_forest.aquamodl";
+  original.save_file(path);
+
+  // Buffered reader.
+  std::ifstream in(path, std::ios::binary);
+  const ProfileModel buffered = ProfileModel::load(in);
+  // Zero-copy mmap reader over the identical bytes.
+  const io::MappedArtifactReader reader(path);
+  const ProfileModel mapped = ProfileModel::load(reader);
+  std::remove(path.c_str());
+
+  // Both loads must recompile the same kernels the fit produced...
+  const ForestCompileReport want = original.model.forest_compile_report();
+  for (const ProfileModel* loaded : {&buffered, &mapped}) {
+    const ForestCompileReport got = loaded->model.forest_compile_report();
+    EXPECT_EQ(got.trees, want.trees);
+    EXPECT_EQ(got.internal_nodes, want.internal_nodes);
+    EXPECT_EQ(got.leaves, want.leaves);
+    EXPECT_EQ(got.classifiers, want.classifiers);
+  }
+
+  // ...and the compiled batch path must reproduce the original's bits.
+  const Matrix probe = synthetic_dataset(0x78).features;
+  Matrix out_original, out_buffered, out_mapped;
+  original.model.predict_proba_batch_into(probe, out_original, /*parallel=*/false);
+  buffered.model.predict_proba_batch_into(probe, out_buffered, /*parallel=*/false);
+  mapped.model.predict_proba_batch_into(probe, out_mapped, /*parallel=*/false);
+  for (std::size_t i = 0; i < probe.rows(); ++i) {
+    for (std::size_t v = 0; v < original.model.num_labels(); ++v) {
+      const std::string where =
+          "row " + std::to_string(i) + " label " + std::to_string(v);
+      expect_same_bits(out_buffered(i, v), out_original(i, v), "buffered " + where);
+      expect_same_bits(out_mapped(i, v), out_original(i, v), "mapped " + where);
+    }
+  }
+}
+
+// --- Shared-input-map batch path and the treeless fallback -------------
+
+void expect_batch_matches_per_row(ModelKind kind, bool expect_trees) {
+  MultiLabelModel model(core::make_classifier_factory(kind));
+  model.fit(synthetic_dataset(0x88));
+  EXPECT_EQ(model.forest_compile_report().trees > 0, expect_trees);
+
+  const Matrix probe = synthetic_dataset(0x89).features;
+  Matrix out;
+  model.predict_proba_batch_into(probe, out, /*parallel=*/false);
+  for (std::size_t i = 0; i < probe.rows(); ++i) {
+    const auto per_row = model.predict_proba(probe.row(i));
+    for (std::size_t v = 0; v < model.num_labels(); ++v) {
+      expect_same_bits(out(i, v), per_row[v],
+                       "row " + std::to_string(i) + " label " + std::to_string(v));
+    }
+  }
+}
+
+TEST(CompiledForest, SharedMapBatchPathBitIdenticalToPerRowPredicts) {
+  expect_batch_matches_per_row(ModelKind::kHybridRsl, /*expect_trees=*/true);
+}
+
+TEST(CompiledForest, TreelessKindsFallBackTransparently) {
+  // No ensemble to flatten: compiled_forest() is null for every head and
+  // the tile protocol's default per-row loop serves the batch unchanged.
+  MultiLabelModel model(core::make_classifier_factory(ModelKind::kLogisticR));
+  model.fit(synthetic_dataset(0x8A));
+  for (std::size_t v = 0; v < model.num_labels(); ++v) {
+    EXPECT_EQ(model.classifier(v).compiled_forest(), nullptr);
+  }
+  expect_batch_matches_per_row(ModelKind::kLogisticR, /*expect_trees=*/false);
+}
+
+// --- Concurrency: one shared compiled model, many tile callers ---------
+
+TEST(CompiledForest, ConcurrentTileCallsOnSharedModelStayIdentical) {
+  RandomForestClassifier rf;
+  Rng rng(121);
+  const auto [x, y] = blobs(240, rng);
+  rf.fit(x, y);
+  ASSERT_NE(rf.compiled_forest(), nullptr);
+
+  Rng probe(122);
+  const auto [tx, ty] = blobs(40, probe);
+  (void)ty;
+  std::vector<const double*> rows(tx.rows());
+  for (std::size_t i = 0; i < tx.rows(); ++i) rows[i] = tx.row(i).data();
+  std::vector<double> expected(tx.rows());
+  rf.predict_proba_mapped_tile(rows.data(), rows.size(), tx.cols(), expected.data(), 1);
+
+  // All state is immutable after fit and the kernel scratch is
+  // stack-local, so raw threads hammering one classifier must agree
+  // with the sequential pass exactly (and report no races under TSan).
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(4, 0);
+  for (std::size_t w = 0; w < mismatches.size(); ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<double> out(tx.rows());
+      for (int rep = 0; rep < 25; ++rep) {
+        rf.predict_proba_mapped_tile(rows.data(), rows.size(), tx.cols(), out.data(), 1);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          if (std::bit_cast<std::uint64_t>(out[i]) !=
+              std::bit_cast<std::uint64_t>(expected[i])) {
+            ++mismatches[w];
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t w = 0; w < mismatches.size(); ++w) {
+    EXPECT_EQ(mismatches[w], 0) << "worker " << w;
+  }
+}
+
+}  // namespace
+}  // namespace aqua::ml

@@ -355,16 +355,20 @@ TEST(ServingDaemon, BundleLoadedViaMmapServesIdenticallyToInMemoryModel) {
 }
 
 TEST(ServingDaemon, MetricsExportCoversEveryDistrictWithPrefixes) {
-  auto profile = make_profile(0x55, ModelKind::kLinearR);
+  // alpha holds a tree-backed hybrid model (compiled forest stats must be
+  // nonzero); beta holds a treeless linear model (keys still exported,
+  // zeroed — the transparent pointer-walk fallback has nothing compiled).
+  auto hybrid_profile = make_profile(0x55);
+  auto linear_profile = make_profile(0x55, ModelKind::kLinearR);
   std::vector<DistrictConfig> configs(2);
   configs[0].name = "alpha";
-  configs[0].model = std::make_shared<ModelBundle>(profile, 3);
+  configs[0].model = std::make_shared<ModelBundle>(hybrid_profile, 3);
   configs[1].name = "beta";
-  configs[1].model = std::make_shared<ModelBundle>(profile, 4);
+  configs[1].model = std::make_shared<ModelBundle>(linear_profile, 4);
 
   Collector collector;
   ServingDaemon daemon(configs, {}, collector.sink());
-  const auto inputs = make_inputs(5, 6, profile->model.num_labels(), 0x44);
+  const auto inputs = make_inputs(5, 6, linear_profile->model.num_labels(), 0x44);
   for (const auto& in : inputs) daemon.submit(1, in);
   daemon.drain();
 
@@ -376,6 +380,10 @@ TEST(ServingDaemon, MetricsExportCoversEveryDistrictWithPrefixes) {
   EXPECT_EQ(exported.at("district.beta.model_version"), 4.0);
   EXPECT_GT(exported.at("district.beta.stage.infer.seconds"), 0.0);
   EXPECT_EQ(exported.at("district.beta.stage.queue_wait.calls"), 5.0);
+  EXPECT_GT(exported.at("district.alpha.forest.compiled_trees"), 0.0);
+  EXPECT_GT(exported.at("district.alpha.forest.compile_seconds"), 0.0);
+  EXPECT_EQ(exported.at("district.beta.forest.compiled_trees"), 0.0);
+  EXPECT_EQ(exported.at("district.beta.forest.compile_seconds"), 0.0);
 }
 
 TEST(TelemetryRegistry, ConcurrentRecordSnapshotAndResetStayConsistent) {
