@@ -96,6 +96,59 @@ void run_network(const hydraulics::Network& net, std::size_t base_count, const s
   metrics.emplace_back(key + ".snapshots_identical", identical ? 1.0 : 0.0);
 }
 
+/// Variant-mixed corpus (scenario-diversity engine): hydraulic variants at
+/// moderate rates plus tank drawdowns, so the batch exercises the
+/// automatic replay/full-run partition. The identity gate still holds —
+/// replay-compatible scenarios replay, the rest fall back, and both
+/// batches must agree snapshot for snapshot.
+void run_variant_mix(const hydraulics::Network& net, std::size_t base_count,
+                     const std::string& key, bench::Metrics& metrics) {
+  ScenarioConfig config;
+  config.max_events = 3;
+  config.seed = 4242;
+  config.faults = {
+      make_fault_spec(FaultKind::kPumpOutage, 0.25),
+      make_fault_spec(FaultKind::kValveClosure, 0.25),
+      make_fault_spec(FaultKind::kLeakRamp, 0.25),
+      make_fault_spec(FaultKind::kDemandSurge, 0.25),
+      make_fault_spec(FaultKind::kTankDrawdown, 0.15),
+  };
+  ScenarioGenerator generator(net, config);
+  const auto scenarios = generator.generate(bench::scaled(base_count));
+  const std::vector<std::size_t> elapsed = {1};
+
+  const auto t_full = std::chrono::steady_clock::now();
+  const SnapshotBatch full(net, scenarios, elapsed, {}, true, false);
+  const double full_s = seconds_since(t_full);
+
+  const auto t_mixed = std::chrono::steady_clock::now();
+  const SnapshotBatch mixed(net, scenarios, elapsed, {}, true, true);
+  const double mixed_s = seconds_since(t_mixed);
+
+  const bool identical = snapshots_identical(full, mixed);
+  if (!identical) {
+    std::fprintf(stderr, "%s: VARIANT-MIX REPLAY SNAPSHOTS DIVERGE FROM FULL RUNS\n",
+                 key.c_str());
+  }
+
+  const double speedup = mixed_s > 0.0 ? full_s / mixed_s : 0.0;
+  std::printf(
+      "\n%s variant mix, %zu scenarios: %zu replayed + %zu full-run fallback | "
+      "full %.3fs vs mixed %.3fs (%.1fx) | snapshots identical: %s\n",
+      net.name().c_str(), scenarios.size(), mixed.stats().replayed, mixed.stats().full_run,
+      full_s, mixed_s, speedup, identical ? "yes" : "NO");
+
+  metrics.emplace_back(key + ".variant_mix.scenarios", static_cast<double>(scenarios.size()));
+  metrics.emplace_back(key + ".variant_mix.replayed",
+                       static_cast<double>(mixed.stats().replayed));
+  metrics.emplace_back(key + ".variant_mix.full_run",
+                       static_cast<double>(mixed.stats().full_run));
+  metrics.emplace_back(key + ".variant_mix.full_s", full_s);
+  metrics.emplace_back(key + ".variant_mix.mixed_s", mixed_s);
+  metrics.emplace_back(key + ".variant_mix.speedup", speedup);
+  metrics.emplace_back(key + ".variant_mix.snapshots_identical", identical ? 1.0 : 0.0);
+}
+
 }  // namespace
 
 int main() {
@@ -104,6 +157,8 @@ int main() {
   bench::Metrics metrics;
   run_network(networks::make_epa_net(), 512, "epa_net", metrics);
   run_network(networks::make_wssc_subnet(), 128, "wssc_subnet", metrics);
+  run_variant_mix(networks::make_epa_net(), 256, "epa_net", metrics);
+  run_variant_mix(networks::make_wssc_subnet(), 96, "wssc_subnet", metrics);
   bench::json_report("phase1_training", metrics);
   return 0;
 }

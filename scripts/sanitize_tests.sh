@@ -9,9 +9,12 @@
 #      routinely.
 #   2. TSan (cmake -DAQUA_TSAN=ON): the unit+concurrency+serving+kernel
 #      labels, which include test_concurrency's shared-model /
-#      shared-engine races, test_serving's daemon submit/swap/worker
-#      thread interleavings, and test_compiled_forest's concurrent tile
-#      calls on one shared compiled model. TSan builds compile the
+#      shared-engine races and its variant-batch suite (mixed
+#      replay-pool + full-run-fallback SnapshotBatch builds from the
+#      thread pool and from raw threads), test_serving's daemon
+#      submit/swap/worker thread interleavings, and
+#      test_compiled_forest's concurrent tile calls on one shared
+#      compiled model. TSan builds compile the
 #      multiversioned SIMD kernels default-arch (common/cpu_dispatch.hpp):
 #      target_clones ifunc resolvers would otherwise run before the TSan
 #      runtime initializes and crash at startup; clones are bit-identical

@@ -95,8 +95,13 @@ EvalResult ExperimentContext::evaluate_profile(const ProfileModel& profile,
     Rng rng = root.split();
 
     InferenceInputs& inputs = batch[i];
-    inputs.features = test_batch_->features(i, profile.sensors, options.elapsed_index,
-                                            profile.noise, rng, profile.include_time_feature);
+    // Scenario sensor faults (scenario-diversity engine) degrade the test
+    // features the same way build_dataset degrades training rows.
+    const auto faults =
+        sensing::resolve_sensor_faults(scenario.sensor_faults, profile.sensors.size());
+    inputs.features.resize(profile.sensors.size() + (profile.include_time_feature ? 1 : 0));
+    test_batch_->features_into(i, profile.sensors, options.elapsed_index, profile.noise, rng,
+                               profile.include_time_feature, faults, inputs.features);
     inputs.p_leak_given_freeze = weather_expert;
     inputs.entropy_threshold = options.entropy_threshold;
 

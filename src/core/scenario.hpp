@@ -4,6 +4,21 @@
 // cold-weather variant ("Pipe Failures due to Low Temperature") drives
 // leak locations from the freeze process so weather information becomes an
 // informative expert.
+//
+// On top of the paper's leak-only scenarios sits the scenario-diversity
+// engine (DESIGN.md §15): a ScenarioConfig carries a list of FaultSpecs,
+// each a distribution over one variant family — pump outages, valve
+// closures, ramping-EC leaks, demand surges, tank-drawdown starts, and
+// sensor faults (dropout / stuck-at / drift / adversarial bias). Every
+// generated scenario samples each spec independently, so corpora mix
+// healthy and degraded conditions at configurable rates.
+//
+// Determinism contract: the generator consumes a FIXED number of draws
+// from its base stream per scenario (exactly the two draws of one
+// Rng::split), no matter which variants fire or how many events they
+// produce. Hence generate(100) is a prefix of generate(200) for the same
+// seed, and adding or removing fault specs never perturbs the base leak
+// fields of any scenario (tests/test_scenario_variants.cpp asserts both).
 #pragma once
 
 #include <cstdint>
@@ -13,8 +28,65 @@
 #include "fusion/weather.hpp"
 #include "hydraulics/simulation.hpp"
 #include "ml/dataset.hpp"
+#include "sensing/sensors.hpp"
 
 namespace aqua::core {
+
+/// Variant families of the scenario-diversity engine. The first five
+/// perturb hydraulics; the sensor kinds perturb the measurement channel
+/// after noise, before Δ-feature extraction (sensing/sensors.hpp).
+enum class FaultKind : std::uint8_t {
+  kPumpOutage,     // pump links forced closed over a window
+  kValveClosure,   // valve (or pipe gate) links forced closed over a window
+  kLeakRamp,       // leak EC ramps linearly instead of appearing at full size
+  kDemandSurge,    // junction demands multiplied over a window
+  kTankDrawdown,   // tank initial levels scaled down at t = 0 (full-run only)
+  kSensorDropout,  // sensor reading -> 0
+  kSensorStuckAt,  // sensor reading -> constant
+  kSensorDrift,    // sensor reading accumulates per-slot offset
+  kSensorBias,     // sensor reading shifted by a constant (adversarial)
+};
+
+inline constexpr std::size_t kNumFaultKinds = 9;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Bit for FaultKind `kind` in LeakScenario::variant_mask.
+inline constexpr std::uint32_t fault_bit(FaultKind kind) noexcept {
+  return std::uint32_t{1} << static_cast<std::uint32_t>(kind);
+}
+
+/// Distribution over one variant family. Each generated scenario fires the
+/// spec with `probability`; window positions are expressed in slots
+/// RELATIVE to the scenario's leak slot (negative offsets start before the
+/// leak and force the scenario onto the full-run path — see
+/// LeakScenario::replay_compatible). Fields that a kind does not use are
+/// ignored; specs whose targets are absent from a network (pumps on a
+/// pump-less system, tanks on a tank-less one) silently never fire there,
+/// without affecting any other draw.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kPumpOutage;
+  double probability = 1.0;
+
+  // Window start, in slots relative to the leak slot (clamped to >= 1).
+  std::int64_t offset_min_slots = 0;
+  std::int64_t offset_max_slots = 4;
+  // Window length in slots (>= 1); ramp length for kLeakRamp.
+  std::size_t duration_min_slots = 4;
+  std::size_t duration_max_slots = 12;
+  // Surge multiplier / drawdown scale / stuck-at value / drift-per-slot /
+  // bias, in the variant's native unit.
+  double magnitude_min = 0.0;
+  double magnitude_max = 0.0;
+  // How many targets to hit: pumps/valves to close, junctions to surge,
+  // sensors to fault (capped at what the network offers).
+  std::size_t targets_min = 1;
+  std::size_t targets_max = 1;
+};
+
+/// Canonical spec for one family (the defaults the test suites and benches
+/// use), firing with `probability`.
+FaultSpec make_fault_spec(FaultKind kind, double probability = 1.0);
 
 struct LeakScenario {
   std::vector<hydraulics::LeakEvent> events;  // all share the same start slot
@@ -22,6 +94,21 @@ struct LeakScenario {
   ml::Labels truth;                           // per-label leak indicator
   std::vector<std::uint8_t> frozen;           // per-label frozen indicator (may be all 0)
   double temperature_f = 55.0;
+
+  // Variant layer (empty / 1.0 / 0 for the paper's baseline scenarios).
+  std::vector<hydraulics::OperationalEvent> operations;
+  std::vector<hydraulics::DemandEvent> demand_events;
+  double tank_init_scale = 1.0;
+  std::vector<sensing::SensorFaultDraw> sensor_faults;
+  std::uint32_t variant_mask = 0;  // OR of fault_bit(kind) for fired variants
+
+  /// True when the no-leak baseline checkpoint at this scenario's leak
+  /// slot is still valid: initial tank levels untouched and every
+  /// operational / demand window starting at or after the leak slot.
+  /// Sensor faults never matter here — they live downstream of hydraulics.
+  /// Scenarios failing this must run full (SnapshotBatch falls back
+  /// automatically and counts them in its stats).
+  bool replay_compatible(double hydraulic_step_s) const noexcept;
 };
 
 struct ScenarioConfig {
@@ -40,6 +127,9 @@ struct ScenarioConfig {
   fusion::FreezeModel freeze;
   double cold_temperature_f = 12.0;  // ambient during cold scenarios
   double warm_temperature_f = 55.0;
+  /// Variant layer: each spec is sampled independently per scenario.
+  /// Empty (the default) reproduces the paper's leak-only corpora exactly.
+  std::vector<FaultSpec> faults;
   std::uint64_t seed = 1234;
 };
 
@@ -47,21 +137,30 @@ class ScenarioGenerator {
  public:
   ScenarioGenerator(const hydraulics::Network& network, ScenarioConfig config);
 
-  /// One scenario; deterministic given the generator state.
+  /// One scenario; deterministic given the generator state, and a fixed
+  /// draw count on the base stream per call (see file comment).
   LeakScenario next();
 
-  /// A batch of scenarios.
+  /// A batch of scenarios. generate(n) is a prefix of generate(m >= n)
+  /// for equal seeds.
   std::vector<LeakScenario> generate(std::size_t count);
 
   const ScenarioConfig& config() const noexcept { return config_; }
   const LabelSpace& labels() const noexcept { return labels_; }
 
  private:
+  void apply_fault(const FaultSpec& spec, Rng& rng, LeakScenario& scenario) const;
+
   const hydraulics::Network& network_;
   ScenarioConfig config_;
   LabelSpace labels_;
   Rng rng_;
   double slot_seconds_;
+  // Cached per-network target pools for the variant layer.
+  std::vector<hydraulics::LinkId> pump_links_;
+  std::vector<hydraulics::LinkId> valve_links_;
+  std::vector<hydraulics::NodeId> surge_nodes_;  // junctions with base demand
+  bool has_tank_ = false;
 };
 
 }  // namespace aqua::core

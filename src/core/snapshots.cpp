@@ -35,6 +35,7 @@ void extract_snapshots(const hydraulics::SimulationResults& before_results,
   snap.day_fraction =
       std::fmod(static_cast<double>(scenario.leak_slot) * hydraulic_step_s, seconds_per_day) /
       seconds_per_day;
+  snap.leak_slot = scenario.leak_slot;
 
   snap.after_pressure.resize(elapsed_slots.size());
   snap.after_flow.resize(elapsed_slots.size());
@@ -67,11 +68,23 @@ SnapshotBatch::SnapshotBatch(const hydraulics::Network& network,
   stats_.scenarios = scenarios.size();
   for (const LeakScenario& scenario : scenarios) validate_scenario(scenario, options);
 
-  if (use_replay && !scenarios.empty()) {
-    build_replay(scenarios, options, parallel);
-  } else {
-    build_full(scenarios, options, parallel);
+  // Partition: scenarios whose dynamics leave the no-leak baseline valid
+  // up to their leak slot replay from its checkpoint; the rest (tank
+  // drawdowns, pre-leak operational/demand windows) fall back to full
+  // runs. `use_replay = false` forces everything onto the full path.
+  std::vector<std::size_t> replayable, full;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (use_replay && scenarios[i].replay_compatible(options.hydraulic_step_s)) {
+      replayable.push_back(i);
+    } else {
+      full.push_back(i);
+    }
   }
+  stats_.replayed = replayable.size();
+  stats_.full_run = full.size();
+
+  if (!replayable.empty()) build_replay(scenarios, replayable, options, parallel);
+  if (!full.empty()) build_full(scenarios, full, options, parallel);
 }
 
 void SnapshotBatch::validate_scenario(const LeakScenario& scenario,
@@ -88,18 +101,24 @@ void SnapshotBatch::validate_scenario(const LeakScenario& scenario,
 }
 
 void SnapshotBatch::build_full(std::span<const LeakScenario> scenarios,
+                               std::span<const std::size_t> indices,
                                const hydraulics::SimulationOptions& options, bool parallel) {
   const std::size_t max_elapsed = elapsed_slots_.back();
   std::atomic<std::size_t> steps{0}, solves{0};
 
-  auto run_one = [&](std::size_t i) {
+  auto run_one = [&](std::size_t k) {
+    const std::size_t i = indices[k];
     const LeakScenario& scenario = scenarios[i];
     hydraulics::SimulationOptions run_options = options;
-    // Simulate just past the last snapshot we need.
+    // Simulate just past the last snapshot we need. Operational/demand
+    // windows may extend past it; the stepper simply never reaches them.
     run_options.duration_s =
         static_cast<double>(scenario.leak_slot + max_elapsed) * run_options.hydraulic_step_s;
     hydraulics::Simulation simulation(network_, run_options);
     simulation.schedule_leaks(scenario.events);
+    simulation.schedule_operations(scenario.operations);
+    simulation.schedule_demand_events(scenario.demand_events);
+    simulation.set_tank_init_scale(scenario.tank_init_scale);
     const auto results = simulation.run();
     steps.fetch_add(results.num_steps(), std::memory_order_relaxed);
     solves.fetch_add(results.total_linear_solves(), std::memory_order_relaxed);
@@ -108,20 +127,21 @@ void SnapshotBatch::build_full(std::span<const LeakScenario> scenarios,
   };
 
   if (parallel) {
-    ThreadPool::global().parallel_for(scenarios.size(), run_one);
+    ThreadPool::global().parallel_for(indices.size(), run_one);
   } else {
-    for (std::size_t i = 0; i < scenarios.size(); ++i) run_one(i);
+    for (std::size_t k = 0; k < indices.size(); ++k) run_one(k);
   }
-  stats_.scenario_steps = steps.load();
-  stats_.scenario_linear_solves = solves.load();
+  stats_.scenario_steps += steps.load();
+  stats_.scenario_linear_solves += solves.load();
 }
 
 void SnapshotBatch::build_replay(std::span<const LeakScenario> scenarios,
+                                 std::span<const std::size_t> indices,
                                  const hydraulics::SimulationOptions& options, bool parallel) {
   const std::size_t max_elapsed = elapsed_slots_.back();
   std::size_t max_slot = 0;
-  for (const LeakScenario& scenario : scenarios) {
-    max_slot = std::max(max_slot, scenario.leak_slot);
+  for (std::size_t i : indices) {
+    max_slot = std::max(max_slot, scenarios[i].leak_slot);
   }
 
   // One baseline run covers every scenario: checkpoints up to the deepest
@@ -154,11 +174,13 @@ void SnapshotBatch::build_replay(std::span<const LeakScenario> scenarios,
   };
 
   std::atomic<std::size_t> steps{0}, solves{0};
-  auto run_one = [&](std::size_t i) {
+  auto run_one = [&](std::size_t k) {
+    const std::size_t i = indices[k];
     const LeakScenario& scenario = scenarios[i];
     auto engine = acquire();
-    const auto results =
-        engine->replay(scenario.events, scenario.leak_slot, max_elapsed + 1);
+    const hydraulics::ScenarioDynamics dynamics{scenario.events, scenario.operations,
+                                                scenario.demand_events};
+    const auto results = engine->replay(dynamics, scenario.leak_slot, max_elapsed + 1);
     steps.fetch_add(results.num_steps(), std::memory_order_relaxed);
     solves.fetch_add(results.total_linear_solves(), std::memory_order_relaxed);
     extract_snapshots(baseline.results(), scenario.leak_slot - 1, results, scenario,
@@ -167,12 +189,12 @@ void SnapshotBatch::build_replay(std::span<const LeakScenario> scenarios,
   };
 
   if (parallel) {
-    ThreadPool::global().parallel_for(scenarios.size(), run_one);
+    ThreadPool::global().parallel_for(indices.size(), run_one);
   } else {
-    for (std::size_t i = 0; i < scenarios.size(); ++i) run_one(i);
+    for (std::size_t k = 0; k < indices.size(); ++k) run_one(k);
   }
-  stats_.scenario_steps = steps.load();
-  stats_.scenario_linear_solves = solves.load();
+  stats_.scenario_steps += steps.load();
+  stats_.scenario_linear_solves += solves.load();
   stats_.engines_built = engines_built;
 }
 
@@ -195,11 +217,22 @@ void SnapshotBatch::features_into(std::size_t scenario, const sensing::SensorSet
                                   std::size_t elapsed_index, const sensing::NoiseModel& noise,
                                   Rng& rng, bool include_time_feature,
                                   std::span<double> out) const {
+  features_into(scenario, sensors, elapsed_index, noise, rng, include_time_feature, {}, out);
+}
+
+void SnapshotBatch::features_into(std::size_t scenario, const sensing::SensorSet& sensors,
+                                  std::size_t elapsed_index, const sensing::NoiseModel& noise,
+                                  Rng& rng, bool include_time_feature,
+                                  std::span<const sensing::SensorFault> faults,
+                                  std::span<double> out) const {
   AQUA_REQUIRE(scenario < snapshots_.size(), "scenario index out of range");
   AQUA_REQUIRE(elapsed_index < elapsed_slots_.size(), "elapsed index out of range");
   AQUA_REQUIRE(out.size() == sensors.size() + (include_time_feature ? 1 : 0),
                "output span does not match the feature layout");
   const ScenarioSnapshots& snap = snapshots_[scenario];
+  // Absolute slots of the two readings, for the fault transforms.
+  const std::size_t before_slot = snap.leak_slot - 1;
+  const std::size_t after_slot = snap.leak_slot + elapsed_slots_[elapsed_index];
 
   std::size_t k = 0;
   for (const auto& sensor : sensors.sensors) {
@@ -217,6 +250,14 @@ void SnapshotBatch::features_into(std::size_t scenario, const sensing::SensorSet
           std::max(noise.flow_sigma_frac * std::abs(a), noise.flow_sigma_floor_m3s);
       before = b + rng.normal(0.0, sigma_b);
       after = a + rng.normal(0.0, sigma_a);
+    }
+    // Sensor-fault layer: post-noise, pre-Δ (sensing/sensors.hpp). The
+    // fault list is tiny (a handful of draws), so a linear scan per
+    // sensor beats materializing full reading vectors.
+    for (const auto& fault : faults) {
+      if (fault.sensor != k) continue;
+      before = sensing::apply_sensor_fault(fault, before, before_slot);
+      after = sensing::apply_sensor_fault(fault, after, after_slot);
     }
     out[k++] = after - before;
   }
@@ -243,7 +284,9 @@ ml::MultiLabelDataset SnapshotBatch::build_dataset(std::span<const LeakScenario>
   Rng root(seed);
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     Rng rng = root.split();
-    features_into(i, sensors, elapsed_index, noise, rng, include_time_feature,
+    const auto faults =
+        sensing::resolve_sensor_faults(scenarios[i].sensor_faults, sensors.size());
+    features_into(i, sensors, elapsed_index, noise, rng, include_time_feature, faults,
                   data.features.row(i));
     data.labels[i] = scenarios[i].truth;
   }

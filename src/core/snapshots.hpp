@@ -28,6 +28,7 @@ struct ScenarioSnapshots {
   std::vector<std::vector<double>> after_pressure;
   std::vector<std::vector<double>> after_flow;
   double day_fraction = 0.0;  // time-of-day of e.t in [0,1) (context feature)
+  std::size_t leak_slot = 0;  // e.t (absolute slot of the "after" reference)
 };
 
 /// Simulation-cost accounting for one batch, the unit the Phase I perf
@@ -39,6 +40,8 @@ struct SnapshotBatchStats {
   std::size_t scenario_steps = 0;          // per-scenario hydraulic steps solved
   std::size_t scenario_linear_solves = 0;
   std::size_t engines_built = 0;  // replay workers constructed (<= pool threads)
+  std::size_t replayed = 0;       // scenarios served from the baseline checkpoint
+  std::size_t full_run = 0;       // scenarios that fell back to a full run
 
   std::size_t total_steps() const noexcept { return baseline_steps + scenario_steps; }
   std::size_t total_linear_solves() const noexcept {
@@ -53,6 +56,10 @@ class SnapshotBatch {
   /// checkpointed-replay path produces snapshots bit-identical to
   /// `use_replay = false` (full per-scenario runs from t = 0, kept for
   /// verification and benchmarking) at a fraction of the hydraulic solves.
+  /// Variant scenarios that invalidate the no-leak baseline (tank
+  /// drawdown, pre-leak operational/demand windows — see
+  /// LeakScenario::replay_compatible) automatically fall back to full runs
+  /// within an otherwise-replayed batch; stats() counts both populations.
   SnapshotBatch(const hydraulics::Network& network, std::span<const LeakScenario> scenarios,
                 std::vector<std::size_t> elapsed_slots,
                 hydraulics::SimulationOptions options = {}, bool parallel = true,
@@ -79,8 +86,20 @@ class SnapshotBatch {
                      std::size_t elapsed_index, const sensing::NoiseModel& noise, Rng& rng,
                      bool include_time_feature, std::span<double> out) const;
 
+  /// Sensor-fault-aware variant: after noise, each faulted sensor's
+  /// "before" reading (slot e.t - 1) and "after" reading (slot e.t + n)
+  /// pass through its fault transform (sensing::apply_sensor_fault) before
+  /// the Δ is taken. An empty fault span draws the exact same RNG stream
+  /// as the fault-free overload and is bit-identical to it.
+  void features_into(std::size_t scenario, const sensing::SensorSet& sensors,
+                     std::size_t elapsed_index, const sensing::NoiseModel& noise, Rng& rng,
+                     bool include_time_feature, std::span<const sensing::SensorFault> faults,
+                     std::span<double> out) const;
+
   /// Assembles a multi-label dataset over all scenarios for one sensor set
   /// and elapsed index. Noise is drawn deterministically from `seed`.
+  /// Scenarios carrying sensor-fault draws have them resolved against
+  /// `sensors` and applied to their rows.
   ml::MultiLabelDataset build_dataset(std::span<const LeakScenario> scenarios,
                                       const sensing::SensorSet& sensors,
                                       std::size_t elapsed_index,
@@ -88,9 +107,10 @@ class SnapshotBatch {
                                       bool include_time_feature = true) const;
 
  private:
-  void build_full(std::span<const LeakScenario> scenarios,
+  void build_full(std::span<const LeakScenario> scenarios, std::span<const std::size_t> indices,
                   const hydraulics::SimulationOptions& options, bool parallel);
   void build_replay(std::span<const LeakScenario> scenarios,
+                    std::span<const std::size_t> indices,
                     const hydraulics::SimulationOptions& options, bool parallel);
   void validate_scenario(const LeakScenario& scenario,
                          const hydraulics::SimulationOptions& options) const;

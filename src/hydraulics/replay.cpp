@@ -72,6 +72,11 @@ ReplayEngine::ReplayEngine(const BaselineTrajectory& baseline)
 
 SimulationResults ReplayEngine::replay(std::span<const LeakEvent> events,
                                        std::size_t resume_step, std::size_t num_steps) {
+  return replay(ScenarioDynamics{events, {}, {}}, resume_step, num_steps);
+}
+
+SimulationResults ReplayEngine::replay(const ScenarioDynamics& dynamics,
+                                       std::size_t resume_step, std::size_t num_steps) {
   AQUA_REQUIRE(num_steps > 0, "replay needs at least one step");
   AQUA_REQUIRE(baseline_.covers_resume_at(resume_step),
                "resume step not covered by the baseline trajectory");
@@ -79,7 +84,9 @@ SimulationResults ReplayEngine::replay(std::span<const LeakEvent> events,
   SimulationResults results(num_steps, network_.num_nodes(), network_.num_links(), resume_step);
   results.step_s_ = baseline_.options().hydraulic_step_s;
 
-  stepper_.set_events(events);
+  stepper_.set_events(dynamics.leaks);
+  stepper_.set_operations(dynamics.operations);
+  stepper_.set_demand_events(dynamics.demands);
   stepper_.resume(resume_step, baseline_.tank_levels_entering(resume_step),
                   baseline_.state_at(resume_step - 1));
   for (std::size_t step = 0; step < num_steps; ++step) {
@@ -110,6 +117,9 @@ SimulationResults Simulation::run_from(const BaselineTrajectory& baseline,
   results.step_s_ = options_.hydraulic_step_s;
 
   EpsStepper stepper(network_, solver, options_, events_);
+  stepper.set_operations(operations_);
+  stepper.set_demand_events(demand_events_);
+  stepper.set_tank_init_scale(tank_init_scale_);
   stepper.resume(resume_step, baseline.tank_levels_entering(resume_step),
                  baseline.state_at(resume_step - 1));
   for (std::size_t step = 0; step + resume_step < steps; ++step) {

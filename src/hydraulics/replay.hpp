@@ -67,11 +67,24 @@ class BaselineTrajectory {
   std::vector<double> tank_levels_;  // (last_step + 2) x num_nodes, row-major
 };
 
+/// Everything a scenario injects into the hydraulic trajectory beyond the
+/// healthy baseline: leaks (constant or ramping EC), pump-outage /
+/// valve-closure windows, and demand surges. Tank-drawdown starts are
+/// deliberately absent — they perturb step 0, so no baseline checkpoint is
+/// valid and such scenarios must run full (Simulation::set_tank_init_scale
+/// + Simulation::run).
+struct ScenarioDynamics {
+  std::span<const LeakEvent> leaks;
+  std::span<const OperationalEvent> operations;
+  std::span<const DemandEvent> demands;
+};
+
 /// Replays leak scenarios against a shared baseline. Each engine owns a
-/// private network copy (leak emitters are engine-local state) and a
-/// solver cloned from the baseline's symbolic factorization, so
-/// constructing one per worker thread costs no ordering/analysis work and
-/// replay() never races: one engine per thread, many scenarios per engine.
+/// private network copy (leak emitters and operational closures are
+/// engine-local state) and a solver cloned from the baseline's symbolic
+/// factorization, so constructing one per worker thread costs no
+/// ordering/analysis work and replay() never races: one engine per thread,
+/// many scenarios per engine.
 class ReplayEngine {
  public:
   explicit ReplayEngine(const BaselineTrajectory& baseline);
@@ -82,6 +95,12 @@ class ReplayEngine {
   /// simulates `num_steps` steps, returning results whose start_step() is
   /// `resume_step`. Every event must start at or after the resume time.
   SimulationResults replay(std::span<const LeakEvent> events, std::size_t resume_step,
+                           std::size_t num_steps);
+
+  /// Variant-aware replay: leaks plus operational and demand events, all
+  /// starting at or after the resume time (earlier events would have
+  /// perturbed the checkpoint — use a full run for those scenarios).
+  SimulationResults replay(const ScenarioDynamics& dynamics, std::size_t resume_step,
                            std::size_t num_steps);
 
  private:

@@ -57,6 +57,13 @@ EpsStepper::EpsStepper(Network& network, const GgaSolver& solver,
   demands_.assign(n, 0.0);
   fixed_.assign(n, 0.0);
 
+  // Base link statuses, so operational closures are reversible: a link
+  // inside no active window always reads its construction-time status.
+  base_status_.reserve(network_.num_links());
+  for (LinkId l = 0; l < network_.num_links(); ++l) {
+    base_status_.push_back(network_.link(l).status);
+  }
+
   // Tank-incident links, gathered once: integrating levels by scanning all
   // links for every node each step is O(nodes * links) per step.
   for (NodeId v = 0; v < n; ++v) {
@@ -74,10 +81,39 @@ EpsStepper::EpsStepper(Network& network, const GgaSolver& solver,
   }
 }
 
+void EpsStepper::restore_operational_status() {
+  for (const OperationalEvent& op : operations_) {
+    network_.link(op.link).status = base_status_[op.link];
+  }
+}
+
+void EpsStepper::set_operations(std::span<const OperationalEvent> operations) {
+  // Undo the outgoing schedule's closures before it becomes unreachable;
+  // otherwise a link closed by scenario k would stay closed in scenario
+  // k + 1 even though k + 1 never mentions it.
+  restore_operational_status();
+  operations_ = operations;
+}
+
+void EpsStepper::set_tank_init_scale(double scale) {
+  AQUA_REQUIRE(scale > 0.0, "tank init scale must be positive");
+  tank_init_scale_ = scale;
+}
+
 void EpsStepper::start() {
   network_.clear_emitters();
+  restore_operational_status();
   std::fill(tank_level_.begin(), tank_level_.end(), 0.0);
-  for (const auto& tank : tanks_) tank_level_[tank.node] = network_.node(tank.node).init_level;
+  for (const auto& tank : tanks_) {
+    const Node& node = network_.node(tank.node);
+    double level = node.init_level;
+    // Only the non-default path touches the arithmetic: scale 1.0 must be
+    // bit-identical to the pre-variant engine, clamp included.
+    if (tank_init_scale_ != 1.0) {
+      level = std::clamp(level * tank_init_scale_, node.min_level, node.max_level);
+    }
+    tank_level_[tank.node] = level;
+  }
   have_previous_ = false;
   next_step_ = 0;
 }
@@ -94,7 +130,18 @@ void EpsStepper::resume(std::size_t step, std::span<const double> tank_level,
     AQUA_REQUIRE(event.start_time_s >= resume_time - 1e-9,
                  "cannot resume after a leak already started: the checkpoint would be stale");
   }
+  for (const OperationalEvent& op : operations_) {
+    AQUA_REQUIRE(op.start_time_s >= resume_time - 1e-9,
+                 "cannot resume after an operational event started: the checkpoint would be stale");
+  }
+  for (const DemandEvent& event : demand_events_) {
+    AQUA_REQUIRE(event.start_time_s >= resume_time - 1e-9,
+                 "cannot resume after a demand event started: the checkpoint would be stale");
+  }
+  AQUA_REQUIRE(tank_init_scale_ == 1.0,
+               "tank-drawdown starts change step 0: no baseline checkpoint is valid");
   network_.clear_emitters();
+  restore_operational_status();
   std::copy(tank_level.begin(), tank_level.end(), tank_level_.begin());
   previous_ = std::move(previous);
   have_previous_ = true;
@@ -107,10 +154,24 @@ const HydraulicState& EpsStepper::advance() {
 
   // Activate scheduled leaks whose start time has arrived; emitters stay
   // active for the rest of the run (a broken pipe does not heal itself).
+  // coefficient_at() is monotone non-decreasing, so ramping leaks re-stamp
+  // a larger EC each step and constant leaks stamp once, exactly as before.
   for (const LeakEvent& event : events_) {
-    if (event.start_time_s <= t &&
-        network_.node(event.node).emitter_coefficient < event.coefficient) {
-      network_.set_emitter(event.node, event.coefficient, event.exponent);
+    const double coefficient = event.coefficient_at(t);
+    if (network_.node(event.node).emitter_coefficient < coefficient) {
+      network_.set_emitter(event.node, coefficient, event.exponent);
+    }
+  }
+
+  // Operational windows: reset every affected link to its base status,
+  // then close the ones inside an active window, so overlapping windows
+  // compose and expired windows reopen their link.
+  if (!operations_.empty()) {
+    restore_operational_status();
+    for (const OperationalEvent& op : operations_) {
+      if (op.start_time_s <= t && t < op.end_time_s) {
+        network_.link(op.link).status = LinkStatus::kClosed;
+      }
     }
   }
 
@@ -120,6 +181,11 @@ const HydraulicState& EpsStepper::advance() {
     demands_[v] = network_.demand_at(v, period);
     if (node.type == NodeType::kReservoir) fixed_[v] = node.elevation;
     if (node.type == NodeType::kTank) fixed_[v] = node.elevation + tank_level_[v];
+  }
+  for (const DemandEvent& event : demand_events_) {
+    if (event.start_time_s <= t && t < event.end_time_s) {
+      demands_[event.node] *= event.multiplier;
+    }
   }
 
   HydraulicState state = solver_.solve(demands_, fixed_, have_previous_ ? &previous_ : nullptr);
@@ -155,11 +221,42 @@ void Simulation::schedule_leak(const LeakEvent& event) {
   AQUA_REQUIRE(node.type == NodeType::kJunction, "leaks occur at junctions");
   AQUA_REQUIRE(event.coefficient > 0.0, "leak coefficient must be positive");
   AQUA_REQUIRE(event.start_time_s >= 0.0, "leak start time must be non-negative");
+  AQUA_REQUIRE(event.ramp_s >= 0.0, "leak ramp must be non-negative");
   events_.push_back(event);
 }
 
 void Simulation::schedule_leaks(const std::vector<LeakEvent>& events) {
   for (const auto& e : events) schedule_leak(e);
+}
+
+void Simulation::schedule_operation(const OperationalEvent& event) {
+  AQUA_REQUIRE(event.link < network_.num_links(), "operational event names an unknown link");
+  AQUA_REQUIRE(event.start_time_s >= 0.0, "operational start time must be non-negative");
+  AQUA_REQUIRE(event.end_time_s > event.start_time_s, "operational window must be non-empty");
+  operations_.push_back(event);
+}
+
+void Simulation::schedule_operations(const std::vector<OperationalEvent>& events) {
+  for (const auto& e : events) schedule_operation(e);
+}
+
+void Simulation::schedule_demand_event(const DemandEvent& event) {
+  AQUA_REQUIRE(event.node < network_.num_nodes() &&
+                   network_.node(event.node).type == NodeType::kJunction,
+               "demand events target junctions");
+  AQUA_REQUIRE(event.multiplier > 0.0, "demand multiplier must be positive");
+  AQUA_REQUIRE(event.start_time_s >= 0.0, "demand-event start time must be non-negative");
+  AQUA_REQUIRE(event.end_time_s > event.start_time_s, "demand-event window must be non-empty");
+  demand_events_.push_back(event);
+}
+
+void Simulation::schedule_demand_events(const std::vector<DemandEvent>& events) {
+  for (const auto& e : events) schedule_demand_event(e);
+}
+
+void Simulation::set_tank_init_scale(double scale) {
+  AQUA_REQUIRE(scale > 0.0, "tank init scale must be positive");
+  tank_init_scale_ = scale;
 }
 
 std::size_t Simulation::num_steps() const noexcept {
@@ -180,6 +277,9 @@ SimulationResults Simulation::run() {
   results.step_s_ = options_.hydraulic_step_s;
 
   EpsStepper stepper(network_, solver, options_, events_);
+  stepper.set_operations(operations_);
+  stepper.set_demand_events(demand_events_);
+  stepper.set_tank_init_scale(tank_init_scale_);
   stepper.start();
   for (std::size_t step = 0; step < steps; ++step) {
     const double t = stepper.next_time();

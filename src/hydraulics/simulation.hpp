@@ -3,7 +3,10 @@
 // integrating tank levels between steps. The hydraulic time step doubles
 // as the IoT sampling interval (15 minutes in the paper, Sec. V-A), and
 // leak events e = (l, s, t) are scheduled as emitters that activate at
-// their starting time slot.
+// their starting time slot. Beyond the paper's instantaneous constant-EC
+// break, the stepper injects the scenario-diversity variants (DESIGN.md
+// §15): ramping-EC leaks, timed pump-outage / valve-closure windows,
+// demand surges, and tank-drawdown starts.
 //
 // Because tank integration is explicit Euler and the GGA warm start only
 // reads the previous step's heads and flows, the hydraulic state at step k
@@ -31,12 +34,47 @@ struct SimulationOptions {
 };
 
 /// A leak event e = (l, s, t): location (junction), size (emitter
-/// coefficient EC in Eq. 1) and starting time.
+/// coefficient EC in Eq. 1) and starting time. `ramp_s > 0` makes the
+/// leak grow instead of appearing at full size: the EC rises linearly
+/// from 0 at `start_time_s` to `coefficient` at `start_time_s + ramp_s`
+/// (a corrosion pinhole opening up, vs. the paper's instantaneous break).
 struct LeakEvent {
   NodeId node = 0;
   double coefficient = 0.0;  // e.s — "the greater EC the more severity"
   double exponent = 0.5;     // beta, 0.5 "for general purpose"
   double start_time_s = 0.0;  // e.t
+  double ramp_s = 0.0;        // 0 = constant-EC (the paper's model)
+
+  /// Effective EC at absolute time `time_s`; monotone non-decreasing in
+  /// time, so stepping engines can apply it as a max-so-far update.
+  double coefficient_at(double time_s) const noexcept {
+    if (time_s < start_time_s) return 0.0;
+    if (ramp_s <= 0.0) return coefficient;
+    const double fraction = (time_s - start_time_s) / ramp_s;
+    return fraction >= 1.0 ? coefficient : coefficient * fraction;
+  }
+};
+
+/// A timed operational event: the link is forced to LinkStatus::kClosed
+/// while `start_time_s <= t < end_time_s` and restored to its base status
+/// outside the window — a pump outage (link is a pump) or a valve/gate
+/// closure (valve or pipe). Overlapping events on one link compose as
+/// "closed while any window is active".
+struct OperationalEvent {
+  LinkId link = 0;
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;  // exclusive; must exceed start_time_s
+};
+
+/// A demand surge: the node's pattern-driven demand is multiplied by
+/// `multiplier` while `start_time_s <= t < end_time_s` (main flushing, a
+/// hydrant opening, an industrial draw). Multiple events on one node
+/// compose multiplicatively.
+struct DemandEvent {
+  NodeId node = 0;
+  double multiplier = 1.0;  // > 0
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;  // exclusive; must exceed start_time_s
 };
 
 /// Dense step-major time series produced by an EPS run. A results object
@@ -123,6 +161,24 @@ class EpsStepper {
   /// scenarios through one stepper). Call before start()/resume().
   void set_events(std::span<const LeakEvent> events) noexcept { events_ = events; }
 
+  /// Replaces the operational-event schedule. Links closed by the previous
+  /// schedule are restored to their base status immediately, so swapping
+  /// schedules between scenarios never leaks a closure. Call before
+  /// start()/resume().
+  void set_operations(std::span<const OperationalEvent> operations);
+
+  /// Replaces the demand-event schedule. Call before start()/resume().
+  void set_demand_events(std::span<const DemandEvent> demands) noexcept {
+    demand_events_ = demands;
+  }
+
+  /// Scales every tank's initial level at start() (tank-drawdown starts;
+  /// levels clamp to [min_level, max_level]). 1.0 — the default — is the
+  /// paper's baseline and is bit-identical to the pre-variant behavior.
+  /// resume() rejects scales != 1.0: the checkpoint was recorded with
+  /// baseline initial levels, so a scaled start invalidates it.
+  void set_tank_init_scale(double scale);
+
   /// Positions at absolute step 0 with initial tank levels, no warm start,
   /// and all emitters cleared.
   void start();
@@ -153,10 +209,18 @@ class EpsStepper {
     std::vector<std::pair<LinkId, double>> links;  // link id, inflow sign
   };
 
+  /// Restores every link named by the current operational schedule to its
+  /// base (construction-time) status.
+  void restore_operational_status();
+
   Network& network_;
   const GgaSolver& solver_;
   const SimulationOptions& options_;
   std::span<const LeakEvent> events_;
+  std::span<const OperationalEvent> operations_;
+  std::span<const DemandEvent> demand_events_;
+  std::vector<LinkStatus> base_status_;  // per link, captured at construction
+  double tank_init_scale_ = 1.0;
   std::vector<TankLinks> tanks_;
   std::vector<double> tank_level_;  // per node, entering next_step_
   std::vector<double> demands_, fixed_;
@@ -176,9 +240,24 @@ class Simulation {
   void schedule_leak(const LeakEvent& event);
   void schedule_leaks(const std::vector<LeakEvent>& events);
 
+  /// Schedules a pump outage / valve closure window on any link.
+  void schedule_operation(const OperationalEvent& event);
+  void schedule_operations(const std::vector<OperationalEvent>& events);
+
+  /// Schedules a demand-surge window on a junction.
+  void schedule_demand_event(const DemandEvent& event);
+  void schedule_demand_events(const std::vector<DemandEvent>& events);
+
+  /// Tank-drawdown start: scales every tank's initial level (see
+  /// EpsStepper::set_tank_init_scale). run_from() rejects scales != 1.0.
+  void set_tank_init_scale(double scale);
+
   const Network& network() const noexcept { return network_; }
   const SimulationOptions& options() const noexcept { return options_; }
   const std::vector<LeakEvent>& events() const noexcept { return events_; }
+  const std::vector<OperationalEvent>& operations() const noexcept { return operations_; }
+  const std::vector<DemandEvent>& demand_events() const noexcept { return demand_events_; }
+  double tank_init_scale() const noexcept { return tank_init_scale_; }
   std::size_t num_steps() const noexcept;
 
   /// Runs the EPS and returns recorded time series. Repeatable: each call
@@ -197,6 +276,9 @@ class Simulation {
   Network network_;
   SimulationOptions options_;
   std::vector<LeakEvent> events_;
+  std::vector<OperationalEvent> operations_;
+  std::vector<DemandEvent> demand_events_;
+  double tank_init_scale_ = 1.0;
 };
 
 }  // namespace aqua::hydraulics

@@ -68,4 +68,23 @@ double binary_accuracy(const Labels& predicted, const Labels& truth) {
   return static_cast<double>(correct) / static_cast<double>(predicted.size());
 }
 
+double detection_hit_rate(const std::vector<Labels>& predicted,
+                          const std::vector<Labels>& truth) {
+  AQUA_REQUIRE(predicted.size() == truth.size(), "sample count mismatch");
+  AQUA_REQUIRE(!predicted.empty(), "no samples");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    AQUA_REQUIRE(predicted[i].size() == truth[i].size(), "label arity mismatch");
+    bool overlap = false, any_truth = false, any_pred = false;
+    for (std::size_t j = 0; j < predicted[i].size(); ++j) {
+      const bool p = predicted[i][j] != 0, t = truth[i][j] != 0;
+      overlap = overlap || (p && t);
+      any_truth = any_truth || t;
+      any_pred = any_pred || p;
+    }
+    hits += static_cast<std::size_t>(any_truth ? overlap : !any_pred);
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
 }  // namespace aqua::ml

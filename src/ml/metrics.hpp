@@ -38,4 +38,12 @@ PrecisionRecall micro_precision_recall(const std::vector<Labels>& predicted,
 /// Classification metrics for one binary label vector.
 double binary_accuracy(const Labels& predicted, const Labels& truth);
 
+/// Detection hit rate: the fraction of samples whose prediction overlaps
+/// the truth at all (|pred ∧ true| > 0) — "did Phase II point at least one
+/// finger at a real failure", the robustness benches' coarse accuracy.
+/// Samples with an all-zero truth count as hits iff the prediction is also
+/// all-zero.
+double detection_hit_rate(const std::vector<Labels>& predicted,
+                          const std::vector<Labels>& truth);
+
 }  // namespace aqua::ml

@@ -57,6 +57,63 @@ NoiseModel NoiseModel::load(io::BinaryReader& reader) {
   return noise;
 }
 
+const char* sensor_fault_kind_name(SensorFaultKind kind) {
+  switch (kind) {
+    case SensorFaultKind::kDropout:
+      return "dropout";
+    case SensorFaultKind::kStuckAt:
+      return "stuck_at";
+    case SensorFaultKind::kDrift:
+      return "drift";
+    case SensorFaultKind::kBias:
+      return "bias";
+  }
+  return "unknown";
+}
+
+std::vector<SensorFault> resolve_sensor_faults(std::span<const SensorFaultDraw> draws,
+                                               std::size_t sensor_count) {
+  AQUA_REQUIRE(sensor_count > 0 || draws.empty(),
+               "cannot resolve sensor faults against an empty deployment");
+  std::vector<SensorFault> faults;
+  faults.reserve(draws.size());
+  for (const SensorFaultDraw& draw : draws) {
+    AQUA_REQUIRE(draw.position >= 0.0 && draw.position < 1.0,
+                 "sensor-fault position must lie in [0, 1)");
+    SensorFault fault;
+    fault.kind = draw.kind;
+    fault.sensor = static_cast<std::size_t>(draw.position * static_cast<double>(sensor_count));
+    fault.sensor = std::min(fault.sensor, sensor_count - 1);
+    fault.value = draw.value;
+    fault.start_slot = draw.start_slot;
+    faults.push_back(fault);
+  }
+  return faults;
+}
+
+double apply_sensor_fault(const SensorFault& fault, double reading, std::size_t slot) {
+  if (slot < fault.start_slot) return reading;
+  switch (fault.kind) {
+    case SensorFaultKind::kDropout:
+      return 0.0;
+    case SensorFaultKind::kStuckAt:
+      return fault.value;
+    case SensorFaultKind::kDrift:
+      return reading + fault.value * static_cast<double>(slot - fault.start_slot);
+    case SensorFaultKind::kBias:
+      return reading + fault.value;
+  }
+  return reading;
+}
+
+void apply_sensor_faults(std::span<const SensorFault> faults, std::span<double> readings,
+                         std::size_t slot) {
+  for (const SensorFault& fault : faults) {
+    AQUA_REQUIRE(fault.sensor < readings.size(), "sensor-fault index out of range");
+    readings[fault.sensor] = apply_sensor_fault(fault, readings[fault.sensor], slot);
+  }
+}
+
 SensorSet full_observation(const hydraulics::Network& network) {
   SensorSet set;
   set.sensors.reserve(network.num_nodes() + network.num_links());

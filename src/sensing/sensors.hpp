@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,64 @@ struct NoiseModel {
   void save(io::BinaryWriter& writer) const;
   static NoiseModel load(io::BinaryReader& reader);
 };
+
+// --- Sensor-fault layer (scenario-diversity engine, DESIGN.md §15) -------
+//
+// Faults model the sensing channel failing *after* physics and measurement
+// noise: they transform the noisy reading a healthy sensor would have
+// produced, immediately before Δ-feature extraction. Phase II inference can
+// therefore be stress-tested against degraded telemetry without touching
+// hydraulics, and a faulted corpus shares its simulation (and replay
+// checkpoints) with the healthy one bit for bit.
+
+enum class SensorFaultKind : std::uint8_t {
+  kDropout,  // channel goes dark: reading -> 0
+  kStuckAt,  // electronics freeze: reading -> value
+  kDrift,    // calibration walks:  reading -> reading + value * slots-since-onset
+  kBias,     // adversarial offset: reading -> reading + value
+};
+
+const char* sensor_fault_kind_name(SensorFaultKind kind);
+
+/// One faulted channel of a concrete deployment. `sensor` indexes the
+/// SensorSet order; the fault is active for slots >= start_slot and `value`
+/// is in the sensor's native unit (m for pressure, m^3/s for flow; per slot
+/// for kDrift, ignored by kDropout).
+struct SensorFault {
+  SensorFaultKind kind = SensorFaultKind::kDropout;
+  std::size_t sensor = 0;
+  double value = 0.0;
+  std::size_t start_slot = 0;
+};
+
+/// A fault drawn before any concrete deployment exists (scenario
+/// generation happens ahead of sensor placement): `position` in [0, 1)
+/// resolves to sensor index floor(position * size) for whatever sensor set
+/// the corpus is later featurized with.
+struct SensorFaultDraw {
+  SensorFaultKind kind = SensorFaultKind::kDropout;
+  double position = 0.0;
+  double value = 0.0;
+  std::size_t start_slot = 0;
+};
+
+/// Maps position-based draws onto a deployment of `sensor_count` sensors.
+/// Deterministic; several draws may land on one sensor, in which case they
+/// apply in list order.
+std::vector<SensorFault> resolve_sensor_faults(std::span<const SensorFaultDraw> draws,
+                                               std::size_t sensor_count);
+
+/// The documented reading transform of one fault at one slot (identity
+/// while slot < start_slot):
+///   dropout:  r -> 0
+///   stuck-at: r -> value
+///   drift:    r -> r + value * (slot - start_slot)
+///   bias:     r -> r + value
+double apply_sensor_fault(const SensorFault& fault, double reading, std::size_t slot);
+
+/// Applies every fault to its sensor's reading, in list order.
+void apply_sensor_faults(std::span<const SensorFault> faults, std::span<double> readings,
+                         std::size_t slot);
 
 /// Full observation A = V ∪ E: a pressure sensor at every node and a flow
 /// meter on every link ("|A| = |V| + |E| refers to the full (100%) IoT

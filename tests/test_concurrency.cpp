@@ -13,6 +13,8 @@
 
 #include "core/aquascale.hpp"
 #include "core/inference_engine.hpp"
+#include "core/scenario.hpp"
+#include "core/snapshots.hpp"
 
 namespace aqua::core {
 namespace {
@@ -118,6 +120,91 @@ TEST(ConcurrentEngine, SharedEngineInfersIdenticallyFromManyThreads) {
   const auto times = engine.telemetry_snapshot();
   EXPECT_EQ(times.count(InferenceEngine::kCounterSnapshots),
             batch.size() + kThreads * (batch.size() + 1));
+}
+
+// --- Scenario-diversity engine under threads ------------------------------
+
+std::vector<LeakScenario> mixed_variant_corpus(const hydraulics::Network& net,
+                                               std::size_t count) {
+  ScenarioConfig config;
+  config.max_events = 2;
+  config.seed = 0xabcd;
+  config.faults = {
+      make_fault_spec(FaultKind::kPumpOutage, 0.4),
+      make_fault_spec(FaultKind::kValveClosure, 0.4),
+      make_fault_spec(FaultKind::kLeakRamp, 0.4),
+      make_fault_spec(FaultKind::kDemandSurge, 0.4),
+      make_fault_spec(FaultKind::kTankDrawdown, 0.25),  // forces full-run fallback
+      make_fault_spec(FaultKind::kSensorBias, 0.4),
+  };
+  ScenarioGenerator generator(net, config);
+  return generator.generate(count);
+}
+
+bool batches_identical(const SnapshotBatch& a, const SnapshotBatch& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& sa = a.snapshots(i);
+    const auto& sb = b.snapshots(i);
+    if (sa.before_pressure != sb.before_pressure || sa.before_flow != sb.before_flow ||
+        sa.after_pressure != sb.after_pressure || sa.after_flow != sb.after_flow ||
+        sa.day_fraction != sb.day_fraction || sa.leak_slot != sb.leak_slot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(VariantBatchConcurrency, ParallelMixedBatchMatchesSerialExactly) {
+  // A variant-mixed corpus exercises BOTH pool paths at once — replayed
+  // scenarios through the shared engine pool and tank-drawdown fallbacks
+  // through full runs — and the parallel build must be order-deterministic:
+  // bit-identical to the serial build regardless of worker interleaving.
+  const auto net = networks::make_epa_net();
+  const auto scenarios = mixed_variant_corpus(net, 24);
+  std::size_t fallbacks = 0;
+  for (const auto& s : scenarios) {
+    if (!s.replay_compatible(900.0)) ++fallbacks;
+  }
+  ASSERT_GT(fallbacks, 0u) << "mix produced no full-run fallback scenarios";
+  ASSERT_LT(fallbacks, scenarios.size()) << "mix produced no replayed scenarios";
+
+  const SnapshotBatch parallel(net, scenarios, {1, 2}, {}, true, true);
+  const SnapshotBatch serial(net, scenarios, {1, 2}, {}, false, true);
+  EXPECT_EQ(parallel.stats().full_run, fallbacks);
+  EXPECT_TRUE(batches_identical(parallel, serial));
+}
+
+TEST(VariantBatchConcurrency, ConcurrentBatchBuildsAndGeneratorsAreIndependent) {
+  // Raw threads each run a private generator and build a private batch
+  // over the shared network. Generators are value state (no hidden
+  // globals) and batches only read the network, so every thread must
+  // reproduce the reference bit for bit — under TSan this doubles as the
+  // data-race check for the replay engine pool and the full-run fallback
+  // running side by side.
+  const auto net = networks::make_epa_net();
+  const auto reference_scenarios = mixed_variant_corpus(net, 12);
+  const SnapshotBatch reference(net, reference_scenarios, {1}, {}, true, true);
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<int> ok(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto scenarios = mixed_variant_corpus(net, 12);
+      bool equal = scenarios.size() == reference_scenarios.size();
+      for (std::size_t i = 0; equal && i < scenarios.size(); ++i) {
+        equal = scenarios[i].leak_slot == reference_scenarios[i].leak_slot &&
+                scenarios[i].truth == reference_scenarios[i].truth &&
+                scenarios[i].variant_mask == reference_scenarios[i].variant_mask;
+      }
+      const SnapshotBatch batch(net, scenarios, {1}, {}, true, true);
+      ok[t] = equal && batches_identical(batch, reference) ? 1 : 0;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], 1) << "thread " << t;
 }
 
 }  // namespace

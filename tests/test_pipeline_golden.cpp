@@ -141,6 +141,97 @@ TEST(PipelineGolden, WsscSubnetLogisticR) {
   run_golden_case(networks::make_wssc_subnet(), ModelKind::kLogisticR, "wssc_subnet_logistic_r");
 }
 
+/// Exact rendering of a variant corpus: the generated scenario structure
+/// (leaks with ramps, operational/demand windows, tank scale, sensor-fault
+/// draws) plus the Δ-feature row each scenario produces through the
+/// default replay-with-fallback batch. Pins the scenario-diversity
+/// engine's generator streams, the variant hydraulics, and the sensor-
+/// fault feature transform in one file per family.
+std::string render_corpus(const hydraulics::Network& net, const ScenarioConfig& config,
+                          std::size_t count) {
+  ScenarioGenerator generator(net, config);
+  const auto scenarios = generator.generate(count);
+  const SnapshotBatch batch(net, scenarios, {1}, {});
+  const auto sensors = sensing::full_observation(net);
+  const sensing::NoiseModel noise;
+
+  std::ostringstream out;
+  out << "scenarios " << scenarios.size() << " replayed " << batch.stats().replayed
+      << " full_run " << batch.stats().full_run << "\n";
+  Rng root(config.seed ^ 0xfeed);
+  std::vector<double> row(sensors.size() + 1);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const LeakScenario& s = scenarios[i];
+    out << "scenario " << i << " slot " << s.leak_slot << " mask " << s.variant_mask
+        << " tank " << hex(s.tank_init_scale) << "\n";
+    out << "events";
+    for (const auto& e : s.events) {
+      out << ' ' << e.node << ':' << hex(e.coefficient) << ':' << hex(e.ramp_s);
+    }
+    out << "\nops";
+    for (const auto& op : s.operations) {
+      out << ' ' << op.link << ':' << hex(op.start_time_s) << ':' << hex(op.end_time_s);
+    }
+    out << "\ndemands";
+    for (const auto& d : s.demand_events) {
+      out << ' ' << d.node << ':' << hex(d.multiplier) << ':' << hex(d.start_time_s) << ':'
+          << hex(d.end_time_s);
+    }
+    out << "\nsensor_faults";
+    for (const auto& f : s.sensor_faults) {
+      out << ' ' << static_cast<int>(f.kind) << ':' << hex(f.position) << ':' << hex(f.value)
+          << ':' << f.start_slot;
+    }
+    Rng rng = root.split();
+    const auto faults = sensing::resolve_sensor_faults(s.sensor_faults, sensors.size());
+    batch.features_into(i, sensors, 0, noise, rng, true, faults, row);
+    out << "\nfeatures";
+    for (const double v : row) out << ' ' << hex(v);
+    out << "\n";
+  }
+  return out.str();
+}
+
+ScenarioConfig corpus_config(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.max_events = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(CorpusGolden, OperationalVariants) {
+  ScenarioConfig config = corpus_config(1101);
+  config.faults = {make_fault_spec(FaultKind::kPumpOutage, 0.6),
+                   make_fault_spec(FaultKind::kValveClosure, 0.6)};
+  check_against_golden("corpus_operational",
+                       render_corpus(networks::make_epa_net(), config, 6));
+}
+
+TEST(CorpusGolden, LeakRampVariants) {
+  ScenarioConfig config = corpus_config(1102);
+  config.faults = {make_fault_spec(FaultKind::kLeakRamp, 1.0)};
+  check_against_golden("corpus_leak_ramp",
+                       render_corpus(networks::make_epa_net(), config, 6));
+}
+
+TEST(CorpusGolden, DemandAndTankVariants) {
+  ScenarioConfig config = corpus_config(1103);
+  config.faults = {make_fault_spec(FaultKind::kDemandSurge, 0.7),
+                   make_fault_spec(FaultKind::kTankDrawdown, 0.5)};
+  check_against_golden("corpus_demand_tank",
+                       render_corpus(networks::make_epa_net(), config, 6));
+}
+
+TEST(CorpusGolden, SensorFaultVariants) {
+  ScenarioConfig config = corpus_config(1104);
+  config.faults = {make_fault_spec(FaultKind::kSensorDropout, 0.5),
+                   make_fault_spec(FaultKind::kSensorStuckAt, 0.5),
+                   make_fault_spec(FaultKind::kSensorDrift, 0.5),
+                   make_fault_spec(FaultKind::kSensorBias, 0.5)};
+  check_against_golden("corpus_sensor_fault",
+                       render_corpus(networks::make_epa_net(), config, 6));
+}
+
 TEST(PipelineGolden, FusionStagesGoldenOnSyntheticBeliefs) {
   // A pure-fusion golden (no simulation/training): pins the weather Bayes
   // arithmetic and the tuning order of operations on handcrafted beliefs.

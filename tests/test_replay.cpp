@@ -171,9 +171,10 @@ TEST(Replay, Validation) {
   EXPECT_THROW(mismatched.run_from(baseline, 2), InvalidArgument);
 
   ReplayEngine engine(baseline);
-  EXPECT_THROW(engine.replay({}, 0, 2), InvalidArgument);
-  EXPECT_THROW(engine.replay({}, 10, 2), InvalidArgument);  // covers only <= 8
-  EXPECT_THROW(engine.replay({}, 2, 0), InvalidArgument);
+  const std::span<const LeakEvent> no_events;
+  EXPECT_THROW(engine.replay(no_events, 0, 2), InvalidArgument);
+  EXPECT_THROW(engine.replay(no_events, 10, 2), InvalidArgument);  // covers only <= 8
+  EXPECT_THROW(engine.replay(no_events, 2, 0), InvalidArgument);
 }
 
 }  // namespace
